@@ -1,0 +1,99 @@
+// Command arbgen is the paper's arbiter generator tool (Section 4.2): it
+// emits synthesizable VHDL for an N-input round-robin arbiter and reports
+// its synthesized area and clock speed on the Xilinx XC4000E, for either
+// modeled synthesis tool and any FSM encoding.
+//
+// Usage:
+//
+//	arbgen -n 6 -encoding one-hot -tool synplify       # characterize one size
+//	arbgen -n 4 -vhdl                                   # print the VHDL
+//	arbgen -sweep                                       # Figures 6 and 7 tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sparcs/internal/arbiter"
+	"sparcs/internal/fsm"
+	"sparcs/internal/synth"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of request inputs (2..16)")
+	encoding := flag.String("encoding", "one-hot", "FSM encoding: one-hot, compact, gray")
+	tool := flag.String("tool", "synplify", "synthesis tool model: synplify, fpga-express")
+	vhdl := flag.Bool("vhdl", false, "print the generated VHDL instead of synthesizing")
+	sweep := flag.Bool("sweep", false, "reproduce the paper's Figures 6 and 7 (N in [2,10], all tool/encoding variants)")
+	flag.Parse()
+
+	if *sweep {
+		runSweep()
+		return
+	}
+	enc, err := fsm.ParseEncoding(*encoding)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *vhdl {
+		text, err := arbiter.VHDL(*n, enc, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	tl, err := synth.ParseTool(*tool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := arbiter.Machine(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, _, err := synth.Run(m, enc, tl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, N=%d\n", r.Label(), *n)
+	fmt.Printf("  area:        %d CLBs (%d 4-LUTs, %d FFs, %d H-folds)\n", r.CLBs, r.LUTs, r.FFs, r.HMerges)
+	fmt.Printf("  max clock:   %.1f MHz (critical path %.2f ns, %d LUT levels)\n", r.MaxMHz, r.CriticalNs, r.Depth)
+}
+
+func runSweep() {
+	sizes := []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
+	results, err := synth.Sweep(arbiter.Machine, sizes, synth.Figure67Variants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 6: N-input arbiter sizes in CLBs")
+	fmt.Printf("%-4s", "N")
+	for _, series := range results {
+		fmt.Printf(" %22s", series[0].Label())
+	}
+	fmt.Println()
+	for i, n := range sizes {
+		fmt.Printf("%-4d", n)
+		for _, series := range results {
+			fmt.Printf(" %22d", series[i].CLBs)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Figure 7: N-input arbiter clock speed in MHz")
+	fmt.Printf("%-4s", "N")
+	for _, series := range results {
+		fmt.Printf(" %22s", series[0].Label())
+	}
+	fmt.Println()
+	for i, n := range sizes {
+		fmt.Printf("%-4d", n)
+		for _, series := range results {
+			fmt.Printf(" %22.1f", series[i].MaxMHz)
+		}
+		fmt.Println()
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,102 @@
+// Command sparcs runs the integrated partitioning/synthesis/arbitration
+// flow (paper Figure 9) on a built-in design and reports the temporal
+// partitions, memory maps, inserted arbiters, and cycle-accurate
+// simulation results.
+//
+// Usage:
+//
+//	sparcs -design fft                  # the paper's Section 5 case study
+//	sparcs -design fft -conservative    # without dependency elision
+//	sparcs -design fft -auto            # automatic temporal partitioning
+//	sparcs -design fft -policy fifo     # swap the arbitration policy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sparcs/internal/arbinsert"
+	"sparcs/internal/arbiter"
+	"sparcs/internal/core"
+	"sparcs/internal/fft"
+	"sparcs/internal/rc"
+	"sparcs/internal/sim"
+)
+
+func main() {
+	design := flag.String("design", "fft", "built-in design: fft")
+	tiles := flag.Int("tiles", 8, "tiles to simulate per temporal partition")
+	auto := flag.Bool("auto", false, "use automatic temporal partitioning instead of the paper's 3-stage split")
+	conservative := flag.Bool("conservative", false, "disable dependency-based arbiter elision")
+	policy := flag.String("policy", "round-robin", "arbitration policy: round-robin, fifo, priority, random")
+	m := flag.Int("m", 2, "accesses per grant before the request is released (Figure 8)")
+	flag.Parse()
+
+	if *design != "fft" {
+		log.Fatalf("unknown design %q (only fft is built in)", *design)
+	}
+
+	g := fft.Taskgraph()
+	board := rc.Wildforce()
+	opts := core.Options{
+		Insert: arbinsert.Options{M: *m, Conservative: *conservative},
+	}
+	if !*auto {
+		opts.Partition.FixedStages = fft.PaperStages()
+	}
+	if *policy != "round-robin" {
+		name := *policy
+		opts.NewPolicy = func(n int) arbiter.Policy {
+			p, err := arbiter.NewPolicy(name, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return p
+		}
+	}
+
+	d, err := core.Compile(g, board, fft.Programs(*tiles), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.Report())
+
+	mem := sim.NewMemory()
+	in := fft.LoadInput(mem, *tiles, 42)
+	res, err := core.Simulate(d, mem, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== simulation ==")
+	for si, ss := range res.Stages {
+		fmt.Printf("temporal partition #%d: %d cycles", si, ss.Stats.Cycles)
+		if w := totalWait(ss.Stats.WaitCycles); w > 0 {
+			fmt.Printf(", %d grant-wait cycles", w)
+		}
+		if len(ss.Stats.Violations) > 0 {
+			fmt.Printf(", VIOLATIONS: %d", len(ss.Stats.Violations))
+		}
+		fmt.Println()
+	}
+	if err := fft.CheckOutput(mem, in); err != nil {
+		fmt.Println("output check: FAIL:", err)
+	} else {
+		fmt.Println("output check: PASS (hardware memory image == fixed-point 2-D FFT)")
+	}
+
+	cpt := float64(res.TotalCycles) / float64(*tiles)
+	fmt.Printf("\n== 512x512 image timing (paper: HW 4.4 s, SW 6.8 s) ==\n")
+	fmt.Printf("cycles/tile: %.1f\n", cpt)
+	fmt.Printf("hardware @ %.0f MHz: %.2f s\n", fft.ClockMHz, fft.HardwareSeconds(cpt, 512))
+	fmt.Printf("software (Pentium-150 model): %.2f s\n", fft.SoftwareSeconds(512))
+	fmt.Printf("speedup: %.2fx\n", fft.SoftwareSeconds(512)/fft.HardwareSeconds(cpt, 512))
+}
+
+func totalWait(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,72 @@
+// Channel sharing (paper Section 2.2, Figure 3, Table 1): two logical
+// channels with different source tasks merge onto one physical inter-FPGA
+// channel. Receive-side registers keep early transfers alive for late
+// readers, and a 2-input arbiter serializes the writers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparcs/internal/behav"
+	"sparcs/internal/core"
+	"sparcs/internal/rc"
+	"sparcs/internal/sim"
+	"sparcs/internal/taskgraph"
+	"sparcs/internal/xc4000"
+)
+
+func main() {
+	// Table 1's scenario: Task1 writes c1 at step 1, Task4 writes c4 at
+	// step 2, Task2 reads c1 at step 3 — after the shared channel has
+	// been reused — and must still see Task1's value.
+	g := &taskgraph.Graph{
+		Name: "table1",
+		Segments: []*taskgraph.Segment{
+			{Name: "OUT", SizeBytes: 64, WidthBits: 32},
+		},
+		Channels: []*taskgraph.Channel{
+			{Name: "c1", From: "Task1", To: "Task2", WidthBits: 16},
+			{Name: "c4", From: "Task4", To: "Task3", WidthBits: 8},
+		},
+		Tasks: []*taskgraph.Task{
+			{Name: "Task1", AreaCLBs: 200},
+			{Name: "Task2", AreaCLBs: 200, Accesses: []taskgraph.Access{{Segment: "OUT", Kind: taskgraph.Write}}},
+			{Name: "Task3", AreaCLBs: 200, Accesses: []taskgraph.Access{{Segment: "OUT", Kind: taskgraph.Write}}},
+			{Name: "Task4", AreaCLBs: 200},
+		},
+	}
+	programs := map[string]behav.Program{
+		"Task1": {Body: []behav.Instr{behav.SendImm("c1", 10)}},
+		"Task4": {Body: []behav.Instr{behav.Compute(1), behav.SendImm("c4", 102)}},
+		"Task2": {Body: []behav.Instr{behav.Compute(6), behav.Recv("c1"), behav.Write("OUT", 0)}},
+		"Task3": {Body: []behav.Instr{behav.Recv("c4"), behav.Write("OUT", 1)}},
+	}
+
+	// A two-FPGA board forces both logical channels onto the single
+	// PE1-PE2 physical connection, triggering the merge.
+	board := rc.Generic(2, xc4000.XC4013E, 32*1024, 36, 36)
+	d, err := core.Compile(g, board, programs, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(d.Report())
+
+	stage := d.Stages[0]
+	for _, pc := range stage.Routes {
+		fmt.Printf("physical channel %s: %d pins, carries %v", pc.Name, pc.Pins, pc.Logical)
+		if pc.Arbiter != nil {
+			fmt.Printf(", arbitrated (%d sources)", pc.Arbiter.N())
+		}
+		fmt.Println()
+	}
+
+	mem := sim.NewMemory()
+	res, err := core.Simulate(d, mem, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %d cycles, violations: %d\n", res.TotalCycles, len(res.Violations()))
+	fmt.Printf("Task2 received c1 value: %d (want 10 — register held it)\n", mem.Read("OUT", 0))
+	fmt.Printf("Task3 received c4 value: %d (want 102)\n", mem.Read("OUT", 1))
+}

@@ -1,0 +1,90 @@
+package arbiter
+
+import (
+	"fmt"
+
+	"sparcs/internal/fsm"
+	"sparcs/internal/netlist"
+)
+
+// FSMPolicy adapts the Figure 5 symbolic machine to the Policy interface,
+// so the system simulator arbitrates with the exact transition table that
+// gets synthesized.
+type FSMPolicy struct {
+	n   int
+	ref *fsm.Reference
+}
+
+// NewFSMPolicy builds the N-task round-robin machine and wraps its
+// reference interpreter.
+func NewFSMPolicy(n int) (*FSMPolicy, error) {
+	m, err := Machine(n)
+	if err != nil {
+		return nil, err
+	}
+	return &FSMPolicy{n: n, ref: fsm.NewReference(m)}, nil
+}
+
+// Name implements Policy.
+func (p *FSMPolicy) Name() string { return "round-robin-fsm" }
+
+// N implements Policy.
+func (p *FSMPolicy) N() int { return p.n }
+
+// Reset implements Policy.
+func (p *FSMPolicy) Reset() { p.ref.Reset() }
+
+// Step implements Policy.
+func (p *FSMPolicy) Step(req []bool) []bool {
+	out, err := p.ref.Step(req)
+	if err != nil {
+		panic(fmt.Sprintf("arbiter: FSM policy: %v", err))
+	}
+	return out
+}
+
+// NetlistPolicy drives a synthesized gate-level arbiter netlist as the
+// Policy implementation — the strongest fidelity level: the system
+// simulation is arbitrated by the very gates the synthesis pipeline
+// produced.
+type NetlistPolicy struct {
+	n    int
+	name string
+	sim  *netlist.Simulator
+}
+
+// NewNetlistPolicy synthesizes the N-task round-robin arbiter under the
+// given encoding and wraps its gate-level simulator.
+func NewNetlistPolicy(n int, enc fsm.Encoding) (*NetlistPolicy, error) {
+	m, err := Machine(n)
+	if err != nil {
+		return nil, err
+	}
+	nl, _, err := fsm.Synthesize(m, enc)
+	if err != nil {
+		return nil, err
+	}
+	s, err := netlist.NewSimulator(nl)
+	if err != nil {
+		return nil, err
+	}
+	return &NetlistPolicy{n: n, name: fmt.Sprintf("round-robin-gates-%s", enc), sim: s}, nil
+}
+
+// Name implements Policy.
+func (p *NetlistPolicy) Name() string { return p.name }
+
+// N implements Policy.
+func (p *NetlistPolicy) N() int { return p.n }
+
+// Reset implements Policy.
+func (p *NetlistPolicy) Reset() { p.sim.Reset() }
+
+// Step implements Policy.
+func (p *NetlistPolicy) Step(req []bool) []bool {
+	out, err := p.sim.Step(req)
+	if err != nil {
+		panic(fmt.Sprintf("arbiter: netlist policy: %v", err))
+	}
+	return out
+}

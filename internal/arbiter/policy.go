@@ -1,0 +1,285 @@
+package arbiter
+
+import "fmt"
+
+// Policy is a cycle-level behavioral arbiter: each Step consumes the
+// request vector for one clock cycle and returns the grant vector for the
+// same cycle (Mealy semantics, matching the FSM).
+//
+// All implementations guarantee mutual exclusion (at most one grant) and
+// never grant a non-requester. Fairness properties differ by policy; the
+// paper selects round-robin as the only one that is both fair and cheap in
+// hardware.
+type Policy interface {
+	// Name identifies the policy ("round-robin", "fifo", ...).
+	Name() string
+	// N returns the number of request lines.
+	N() int
+	// Step arbitrates one cycle. len(req) must equal N; the returned
+	// slice is valid until the next Step.
+	Step(req []bool) []bool
+	// Reset returns the policy to its initial state.
+	Reset()
+}
+
+// NewPolicy constructs a policy by name: "round-robin", "fifo",
+// "priority", or "random".
+func NewPolicy(name string, n int) (Policy, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	}
+	switch name {
+	case "round-robin", "rr":
+		return NewRoundRobin(n), nil
+	case "fifo":
+		return NewFIFO(n), nil
+	case "priority":
+		return NewPriority(n), nil
+	case "random":
+		return NewRandom(n, 1), nil
+	}
+	return nil, fmt.Errorf("arbiter: unknown policy %q", name)
+}
+
+// RoundRobin is the behavioral reference for the Figure 5 FSM,
+// implemented independently of internal/fsm so the two can cross-check.
+type RoundRobin struct {
+	n        int
+	holder   int // task holding the resource, or -1
+	priority int // task with highest scan priority when free
+	grants   []bool
+}
+
+// NewRoundRobin returns a round-robin arbiter in state F1.
+func NewRoundRobin(n int) *RoundRobin {
+	return &RoundRobin{n: n, holder: -1, priority: 0, grants: make([]bool, n)}
+}
+
+// Name implements Policy.
+func (a *RoundRobin) Name() string { return "round-robin" }
+
+// N implements Policy.
+func (a *RoundRobin) N() int { return a.n }
+
+// Reset implements Policy.
+func (a *RoundRobin) Reset() {
+	a.holder = -1
+	a.priority = 0
+}
+
+// Step implements Policy with the exact Figure 5 semantics: scan requests
+// cyclically starting at the holder (if any) or the priority task; the
+// first requester found is granted and becomes the holder. With no
+// requests, a releasing holder passes priority to its successor.
+func (a *RoundRobin) Step(req []bool) []bool {
+	if len(req) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	}
+	for i := range a.grants {
+		a.grants[i] = false
+	}
+	start := a.priority
+	if a.holder >= 0 {
+		start = a.holder
+	}
+	granted := -1
+	for k := 0; k < a.n; k++ {
+		t := (start + k) % a.n
+		if req[t] {
+			granted = t
+			break
+		}
+	}
+	if granted < 0 {
+		if a.holder >= 0 {
+			a.priority = (a.holder + 1) % a.n // Ci --zeroes--> F(i+1)
+		}
+		a.holder = -1
+		return a.grants
+	}
+	a.holder = granted
+	a.grants[granted] = true
+	return a.grants
+}
+
+// State reports the symbolic FSM state the behavioral arbiter is in, for
+// cross-checking against fsm.Reference ("C3", "F1", ...). It reflects the
+// state after the most recent Step.
+func (a *RoundRobin) State() string {
+	if a.holder >= 0 {
+		return fmt.Sprintf("C%d", a.holder+1)
+	}
+	return fmt.Sprintf("F%d", a.priority+1)
+}
+
+// FIFO grants in arrival order: a task joins the queue on the rising edge
+// of its request and is served when it reaches the head. In hardware this
+// needs an N-deep queue of log2(N)-bit entries — the complexity the paper
+// cites for rejecting it.
+type FIFO struct {
+	n      int
+	queue  []int
+	queued []bool
+	prev   []bool
+	grants []bool
+}
+
+// NewFIFO returns a FIFO arbiter with an empty queue.
+func NewFIFO(n int) *FIFO {
+	return &FIFO{n: n, queued: make([]bool, n), prev: make([]bool, n), grants: make([]bool, n)}
+}
+
+// Name implements Policy.
+func (a *FIFO) Name() string { return "fifo" }
+
+// N implements Policy.
+func (a *FIFO) N() int { return a.n }
+
+// Reset implements Policy.
+func (a *FIFO) Reset() {
+	a.queue = a.queue[:0]
+	for i := range a.queued {
+		a.queued[i] = false
+		a.prev[i] = false
+	}
+}
+
+// Step implements Policy.
+func (a *FIFO) Step(req []bool) []bool {
+	if len(req) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	}
+	// Enqueue rising edges in index order (simultaneous arrivals tie-break
+	// by index, like a priority encoder feeding the queue).
+	for t := 0; t < a.n; t++ {
+		if req[t] && !a.prev[t] && !a.queued[t] {
+			a.queue = append(a.queue, t)
+			a.queued[t] = true
+		}
+		a.prev[t] = req[t]
+	}
+	// Drop head entries that no longer request (released or withdrawn).
+	for len(a.queue) > 0 && !req[a.queue[0]] {
+		a.queued[a.queue[0]] = false
+		a.queue = a.queue[1:]
+	}
+	for i := range a.grants {
+		a.grants[i] = false
+	}
+	if len(a.queue) > 0 {
+		a.grants[a.queue[0]] = true
+	}
+	return a.grants
+}
+
+// Priority grants the lowest-indexed requester, except that a holder is
+// not preempted while it keeps requesting. Starvation-prone by design:
+// high-priority tasks can lock out low-priority ones indefinitely.
+type Priority struct {
+	n      int
+	holder int
+	grants []bool
+}
+
+// NewPriority returns a static-priority arbiter (task 1 highest).
+func NewPriority(n int) *Priority {
+	return &Priority{n: n, holder: -1, grants: make([]bool, n)}
+}
+
+// Name implements Policy.
+func (a *Priority) Name() string { return "priority" }
+
+// N implements Policy.
+func (a *Priority) N() int { return a.n }
+
+// Reset implements Policy.
+func (a *Priority) Reset() { a.holder = -1 }
+
+// Step implements Policy.
+func (a *Priority) Step(req []bool) []bool {
+	if len(req) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	}
+	for i := range a.grants {
+		a.grants[i] = false
+	}
+	if a.holder >= 0 && req[a.holder] {
+		a.grants[a.holder] = true
+		return a.grants
+	}
+	a.holder = -1
+	for t := 0; t < a.n; t++ {
+		if req[t] {
+			a.holder = t
+			a.grants[t] = true
+			break
+		}
+	}
+	return a.grants
+}
+
+// Random grants a pseudo-random requester (16-bit LFSR, deterministic),
+// without preempting a still-requesting holder. Fair only in expectation;
+// offers no worst-case wait bound.
+type Random struct {
+	n      int
+	lfsr   uint16
+	seed   uint16
+	holder int
+	grants []bool
+}
+
+// NewRandom returns a random arbiter seeded deterministically (seed must
+// be nonzero; 0 is replaced by 1).
+func NewRandom(n int, seed uint16) *Random {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Random{n: n, lfsr: seed, seed: seed, holder: -1, grants: make([]bool, n)}
+}
+
+// Name implements Policy.
+func (a *Random) Name() string { return "random" }
+
+// N implements Policy.
+func (a *Random) N() int { return a.n }
+
+// Reset implements Policy.
+func (a *Random) Reset() {
+	a.lfsr = a.seed
+	a.holder = -1
+}
+
+// Step implements Policy.
+func (a *Random) Step(req []bool) []bool {
+	if len(req) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	}
+	for i := range a.grants {
+		a.grants[i] = false
+	}
+	if a.holder >= 0 && req[a.holder] {
+		a.grants[a.holder] = true
+		return a.grants
+	}
+	a.holder = -1
+	var requesters []int
+	for t := 0; t < a.n; t++ {
+		if req[t] {
+			requesters = append(requesters, t)
+		}
+	}
+	if len(requesters) == 0 {
+		return a.grants
+	}
+	// Galois LFSR x^16 + x^14 + x^13 + x^11 + 1.
+	lsb := a.lfsr & 1
+	a.lfsr >>= 1
+	if lsb != 0 {
+		a.lfsr ^= 0xB400
+	}
+	pick := requesters[int(a.lfsr)%len(requesters)]
+	a.holder = pick
+	a.grants[pick] = true
+	return a.grants
+}

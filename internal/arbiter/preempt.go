@@ -1,0 +1,94 @@
+package arbiter
+
+import "fmt"
+
+// PreemptiveRoundRobin implements the extension the paper's conclusion
+// proposes as future work: "preemption techniques could be introduced to
+// ensure that no task is granted access to a shared resource and never
+// relinquishes its request."
+//
+// It behaves exactly like the round-robin arbiter except that a holder
+// that keeps requesting for more than MaxHold consecutive granted cycles
+// while another task is waiting has its grant revoked: the scan resumes
+// at the next task, and the hog re-enters contention like any requester.
+// With no competing requests the holder may keep the resource
+// indefinitely (work conservation is preserved).
+type PreemptiveRoundRobin struct {
+	n       int
+	maxHold int
+	inner   *RoundRobin
+	heldFor int
+	grants  []bool
+}
+
+// NewPreemptiveRoundRobin returns a preempting arbiter; maxHold must be
+// at least 1 (grants are revoked after maxHold consecutive cycles).
+func NewPreemptiveRoundRobin(n, maxHold int) (*PreemptiveRoundRobin, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	}
+	if maxHold < 1 {
+		return nil, fmt.Errorf("arbiter: maxHold must be >= 1, got %d", maxHold)
+	}
+	return &PreemptiveRoundRobin{
+		n:       n,
+		maxHold: maxHold,
+		inner:   NewRoundRobin(n),
+		grants:  make([]bool, n),
+	}, nil
+}
+
+// Name implements Policy.
+func (p *PreemptiveRoundRobin) Name() string { return "round-robin-preemptive" }
+
+// N implements Policy.
+func (p *PreemptiveRoundRobin) N() int { return p.n }
+
+// Reset implements Policy.
+func (p *PreemptiveRoundRobin) Reset() {
+	p.inner.Reset()
+	p.heldFor = 0
+}
+
+// Step implements Policy.
+func (p *PreemptiveRoundRobin) Step(req []bool) []bool {
+	if len(req) != p.n {
+		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), p.n))
+	}
+	holder := p.inner.holder
+	othersWaiting := false
+	for t, r := range req {
+		if r && t != holder {
+			othersWaiting = true
+			break
+		}
+	}
+	if holder >= 0 && req[holder] && othersWaiting && p.heldFor >= p.maxHold {
+		// Revoke: mask the hog's request for this arbitration step so the
+		// scan passes it by; it stays eligible from the next cycle on.
+		masked := make([]bool, p.n)
+		copy(masked, req)
+		masked[holder] = false
+		out := p.inner.Step(masked)
+		p.heldFor = p.currentHold(out)
+		copy(p.grants, out)
+		return p.grants
+	}
+	out := p.inner.Step(req)
+	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && out[holder] {
+		p.heldFor++
+	} else {
+		p.heldFor = p.currentHold(out)
+	}
+	copy(p.grants, out)
+	return p.grants
+}
+
+func (p *PreemptiveRoundRobin) currentHold(grants []bool) int {
+	for _, g := range grants {
+		if g {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,91 @@
+package arbiter
+
+import (
+	"fmt"
+
+	"sparcs/internal/netlist"
+)
+
+// LineScheme selects how multiple tasks drive one shared resource input
+// line when not granted (paper Section 2.2, Figure 4).
+type LineScheme uint8
+
+const (
+	// Tristate: each task drives through a tristate buffer enabled by its
+	// grant; with no grants the line floats (acceptable for address/data
+	// lines, dangerous for control lines).
+	Tristate LineScheme = iota
+	// ActiveHighOr: each task gates its value with its grant and the
+	// results are OR-ed, so an idle line reads 0 — the safe default for
+	// active-high inputs like a memory's write-enable (Figure 4b).
+	ActiveHighOr
+	// ActiveLowAnd: the dual for active-low inputs: gated with NOT grant
+	// via OR, then AND-ed, so an idle line reads 1 (Figure 4c).
+	ActiveLowAnd
+)
+
+func (s LineScheme) String() string {
+	switch s {
+	case Tristate:
+		return "tristate"
+	case ActiveHighOr:
+		return "active-high-or"
+	case ActiveLowAnd:
+		return "active-low-and"
+	default:
+		return fmt.Sprintf("LineScheme(%d)", int(s))
+	}
+}
+
+// BuildSharedLine wires n tasks' per-task value nets onto one shared line
+// in the netlist under the chosen scheme. grants and values must have
+// equal length >= 2. It returns the shared line's net.
+//
+// The paper's rule: address/data lines may use Tristate; any active-high
+// resource input must use ActiveHighOr so an idle resource sees its
+// inactive level (e.g. a RAM stays in read mode); active-low inputs use
+// ActiveLowAnd.
+func BuildSharedLine(n *netlist.Netlist, scheme LineScheme, values, grants []netlist.NetID) (netlist.NetID, error) {
+	if len(values) != len(grants) {
+		return 0, fmt.Errorf("arbiter: %d values vs %d grants", len(values), len(grants))
+	}
+	if len(values) < 2 {
+		return 0, fmt.Errorf("arbiter: shared line needs at least 2 drivers, got %d", len(values))
+	}
+	switch scheme {
+	case Tristate:
+		line := n.AddNet("shared_line")
+		for i := range values {
+			n.AddTBuf(values[i], grants[i], line)
+		}
+		return line, nil
+	case ActiveHighOr:
+		terms := make([]netlist.NetID, len(values))
+		for i := range values {
+			terms[i] = n.AddGate(netlist.And, values[i], grants[i])
+		}
+		return n.AddGate(netlist.Or, terms...), nil
+	case ActiveLowAnd:
+		terms := make([]netlist.NetID, len(values))
+		for i := range values {
+			notGrant := n.AddGate(netlist.Not, grants[i])
+			terms[i] = n.AddGate(netlist.Or, values[i], notGrant)
+		}
+		return n.AddGate(netlist.And, terms...), nil
+	default:
+		return 0, fmt.Errorf("arbiter: unknown line scheme %v", scheme)
+	}
+}
+
+// RecommendedScheme returns the line scheme the paper prescribes for a
+// resource input: Tristate for data/address buses, ActiveHighOr for
+// active-high controls, ActiveLowAnd for active-low controls.
+func RecommendedScheme(control bool, activeLow bool) LineScheme {
+	if !control {
+		return Tristate
+	}
+	if activeLow {
+		return ActiveLowAnd
+	}
+	return ActiveHighOr
+}

@@ -1,0 +1,151 @@
+// Package behav defines the behavioral task programs executed by the
+// system simulator (internal/sim): a small instruction set covering
+// computation delay, memory and channel accesses, data transformation, and
+// the Request/Grant arbitration protocol of the paper's Figure 8.
+//
+// Programs stand in for the register-transfer designs SPARCS' high-level
+// synthesis produced: each instruction models the cycle cost of the
+// corresponding datapath activity, and data genuinely moves through the
+// simulated memories and channels so routing and arbitration errors are
+// observable as corrupted values.
+package behav
+
+import "fmt"
+
+// Op enumerates task program instructions.
+type Op uint8
+
+const (
+	// OpCompute busy-waits N cycles (datapath computation).
+	OpCompute Op = iota
+	// OpRead loads mem[Res][Addr] and pushes it onto the task buffer
+	// (1 cycle).
+	OpRead
+	// OpWrite pops the task buffer and stores to mem[Res][Addr]
+	// (1 cycle). An empty buffer stores Val instead.
+	OpWrite
+	// OpSend pops the task buffer into the logical channel Res (1 cycle).
+	// An empty buffer sends Val.
+	OpSend
+	// OpRecv blocks until channel Res holds a value, then pushes it
+	// (1 cycle once available). The receive register retains its value,
+	// so later receives of the same transfer do not block (Table 1).
+	OpRecv
+	// OpReq asserts this task's request line on arbiter Res (1 cycle) —
+	// "Req := 1" in Figure 8.
+	OpReq
+	// OpWaitGrant blocks until arbiter Res grants this task (0 extra
+	// cycles when the grant is immediate) — "Wait for (Grant == 1)".
+	OpWaitGrant
+	// OpRelease deasserts the request line (1 cycle) — "Req := 0".
+	OpRelease
+	// OpTransform pops N values, applies Fn, and pushes the results
+	// (Cycles cycles of latency).
+	OpTransform
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCompute:
+		return "compute"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpReq:
+		return "req"
+	case OpWaitGrant:
+		return "wait-grant"
+	case OpRelease:
+		return "release"
+	case OpTransform:
+		return "transform"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Instr is one task program instruction.
+type Instr struct {
+	Op     Op
+	Res    string // segment, channel, or arbitrated resource name
+	Addr   int    // memory address within the segment (word index)
+	Stride int    // per-iteration address stride (streaming workloads)
+	N      int    // cycles (OpCompute) or pop count (OpTransform)
+	Cycles int    // latency of OpTransform
+	Val    int64  // immediate for OpWrite/OpSend with an empty buffer
+	// Fn transforms the popped values for OpTransform. It must be pure.
+	Fn func(in []int64) []int64
+}
+
+// EffAddr returns the effective address for iteration iter.
+func (in Instr) EffAddr(iter int) int { return in.Addr + iter*in.Stride }
+
+// Program is a task's behavior: Body executed Repeat times (Repeat <= 0
+// means once). The repeat models streaming workloads (e.g. one FFT tile
+// per iteration) without unrolling the full stream.
+type Program struct {
+	Body   []Instr
+	Repeat int
+}
+
+// Iterations returns the effective repeat count.
+func (p Program) Iterations() int {
+	if p.Repeat <= 0 {
+		return 1
+	}
+	return p.Repeat
+}
+
+// Compute returns a computation-delay instruction.
+func Compute(cycles int) Instr { return Instr{Op: OpCompute, N: cycles} }
+
+// Read returns a segment load instruction.
+func Read(segment string, addr int) Instr { return Instr{Op: OpRead, Res: segment, Addr: addr} }
+
+// ReadStride returns a segment load whose address advances by stride each
+// program iteration.
+func ReadStride(segment string, addr, stride int) Instr {
+	return Instr{Op: OpRead, Res: segment, Addr: addr, Stride: stride}
+}
+
+// Write returns a segment store instruction (value from the task buffer).
+func Write(segment string, addr int) Instr { return Instr{Op: OpWrite, Res: segment, Addr: addr} }
+
+// WriteStride returns a segment store whose address advances by stride
+// each program iteration.
+func WriteStride(segment string, addr, stride int) Instr {
+	return Instr{Op: OpWrite, Res: segment, Addr: addr, Stride: stride}
+}
+
+// WriteImm returns a segment store of an immediate value.
+func WriteImm(segment string, addr int, v int64) Instr {
+	return Instr{Op: OpWrite, Res: segment, Addr: addr, Val: v}
+}
+
+// Send returns a channel send (value from the task buffer).
+func Send(channel string) Instr { return Instr{Op: OpSend, Res: channel} }
+
+// SendImm returns a channel send of an immediate value.
+func SendImm(channel string, v int64) Instr { return Instr{Op: OpSend, Res: channel, Val: v} }
+
+// Recv returns a blocking channel receive.
+func Recv(channel string) Instr { return Instr{Op: OpRecv, Res: channel} }
+
+// Req returns a request assertion on an arbitrated resource.
+func Req(resource string) Instr { return Instr{Op: OpReq, Res: resource} }
+
+// WaitGrant returns a grant wait on an arbitrated resource.
+func WaitGrant(resource string) Instr { return Instr{Op: OpWaitGrant, Res: resource} }
+
+// Release returns a request deassertion.
+func Release(resource string) Instr { return Instr{Op: OpRelease, Res: resource} }
+
+// Transform returns a buffer transformation instruction popping n values.
+func Transform(n, cycles int, fn func([]int64) []int64) Instr {
+	return Instr{Op: OpTransform, N: n, Fn: fn, Cycles: cycles}
+}

@@ -1,0 +1,81 @@
+package behav
+
+import "testing"
+
+func TestHelpers(t *testing.T) {
+	if in := Compute(5); in.Op != OpCompute || in.N != 5 {
+		t.Fatalf("Compute = %+v", in)
+	}
+	if in := Read("S", 3); in.Op != OpRead || in.Res != "S" || in.Addr != 3 {
+		t.Fatalf("Read = %+v", in)
+	}
+	if in := ReadStride("S", 3, 4); in.Stride != 4 {
+		t.Fatalf("ReadStride = %+v", in)
+	}
+	if in := Write("S", 1); in.Op != OpWrite {
+		t.Fatalf("Write = %+v", in)
+	}
+	if in := WriteImm("S", 1, 9); in.Val != 9 {
+		t.Fatalf("WriteImm = %+v", in)
+	}
+	if in := SendImm("c", 7); in.Op != OpSend || in.Val != 7 {
+		t.Fatalf("SendImm = %+v", in)
+	}
+	if in := Recv("c"); in.Op != OpRecv {
+		t.Fatalf("Recv = %+v", in)
+	}
+	if in := Req("r"); in.Op != OpReq {
+		t.Fatalf("Req = %+v", in)
+	}
+	if in := WaitGrant("r"); in.Op != OpWaitGrant {
+		t.Fatalf("WaitGrant = %+v", in)
+	}
+	if in := Release("r"); in.Op != OpRelease {
+		t.Fatalf("Release = %+v", in)
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	in := ReadStride("S", 2, 4)
+	if got := in.EffAddr(0); got != 2 {
+		t.Fatalf("EffAddr(0) = %d", got)
+	}
+	if got := in.EffAddr(3); got != 14 {
+		t.Fatalf("EffAddr(3) = %d", got)
+	}
+	if got := Read("S", 2).EffAddr(10); got != 2 {
+		t.Fatalf("strideless EffAddr = %d", got)
+	}
+}
+
+func TestProgramIterations(t *testing.T) {
+	if (Program{}).Iterations() != 1 {
+		t.Fatal("empty Repeat should mean one iteration")
+	}
+	if (Program{Repeat: 5}).Iterations() != 5 {
+		t.Fatal("Repeat should pass through")
+	}
+}
+
+func TestTransform(t *testing.T) {
+	fn := func(in []int64) []int64 { return []int64{in[0] + in[1]} }
+	in := Transform(2, 7, fn)
+	if in.Op != OpTransform || in.N != 2 || in.Cycles != 7 {
+		t.Fatalf("Transform = %+v", in)
+	}
+	if got := in.Fn([]int64{3, 4}); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Fn = %v", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpCompute, OpRead, OpWrite, OpSend, OpRecv, OpReq, OpWaitGrant, OpRelease, OpTransform}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d has bad or duplicate name %q", int(op), s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,172 @@
+// Package core ties the reproduction together into the SPARCS-like flow
+// of the paper's Figure 9: taskgraph in, temporal partitioning, spatial
+// partitioning, memory mapping, channel routing, automatic resource
+// arbitration, and cycle-accurate simulation out.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparcs/internal/arbinsert"
+	"sparcs/internal/arbiter"
+	"sparcs/internal/behav"
+	"sparcs/internal/partition"
+	"sparcs/internal/rc"
+	"sparcs/internal/sim"
+	"sparcs/internal/taskgraph"
+)
+
+// Options configures the flow.
+type Options struct {
+	// Partition options (fixed stages, pin budgets, arbiter area model).
+	Partition partition.Options
+	// Insert options (M accesses per grant, conservative mode).
+	Insert arbinsert.Options
+	// NewPolicy picks the arbiter implementation for simulation; nil uses
+	// the behavioral round-robin.
+	NewPolicy func(n int) arbiter.Policy
+	// MaxCyclesPerStage bounds each stage simulation.
+	MaxCyclesPerStage int
+}
+
+// StagePlan is one compiled temporal partition.
+type StagePlan struct {
+	Stage    *partition.Stage
+	Routes   []partition.PhysChannel
+	Inserted *arbinsert.Result
+}
+
+// Design is a fully compiled system ready for simulation.
+type Design struct {
+	Graph  *taskgraph.Graph
+	Board  *rc.Board
+	Stages []*StagePlan
+}
+
+// Compile runs partitioning, channel routing, and arbiter insertion.
+// programs supplies the raw (unarbitrated) behavior of every task.
+func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]behav.Program, opts Options) (*Design, error) {
+	stages, err := partition.Temporal(g, board, opts.Partition)
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{Graph: g, Board: board}
+	for _, st := range stages {
+		routes, err := partition.RouteChannels(g, board, st)
+		if err != nil {
+			return nil, err
+		}
+		ins, err := arbinsert.Insert(g, board, st, routes, programs, opts.Insert)
+		if err != nil {
+			return nil, err
+		}
+		d.Stages = append(d.Stages, &StagePlan{Stage: st, Routes: routes, Inserted: ins})
+	}
+	return d, nil
+}
+
+// StageStats pairs a stage with its simulation outcome.
+type StageStats struct {
+	Stage *StagePlan
+	Stats *sim.Stats
+}
+
+// RunResult is the outcome of simulating every stage in sequence over a
+// shared memory image.
+type RunResult struct {
+	Stages      []StageStats
+	TotalCycles int
+	Memory      *sim.Memory
+}
+
+// Violations flattens all stages' violations.
+func (r *RunResult) Violations() []sim.Violation {
+	var out []sim.Violation
+	for _, s := range r.Stages {
+		out = append(out, s.Stats.Violations...)
+	}
+	return out
+}
+
+// Arbiters lists every arbiter instantiated across stages as
+// "stage:resource:N" strings, for compact assertions and reports.
+func (d *Design) Arbiters() []string {
+	var out []string
+	for si, sp := range d.Stages {
+		for _, a := range sp.Inserted.Arbiters {
+			out = append(out, fmt.Sprintf("%d:%s:%d", si, a.Resource, a.N()))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Simulate runs every stage in order, carrying memory contents across
+// reconfigurations (physical banks retain data; the host restages
+// streaming windows).
+func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
+	if mem == nil {
+		mem = sim.NewMemory()
+	}
+	res := &RunResult{Memory: mem}
+	for _, sp := range d.Stages {
+		cfg := sim.Config{
+			Graph:             d.Graph,
+			Tasks:             sp.Stage.Tasks,
+			Programs:          sp.Inserted.Programs,
+			Arbiters:          sp.Inserted.Arbiters,
+			ResourceOfSegment: sp.Inserted.ResourceOfSegment,
+			ResourceOfChannel: sp.Inserted.ResourceOfChannel,
+			NewPolicy:         opts.NewPolicy,
+			MaxCycles:         opts.MaxCyclesPerStage,
+			Memory:            mem,
+		}
+		stats, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stages = append(res.Stages, StageStats{Stage: sp, Stats: stats})
+		res.TotalCycles += stats.Cycles
+	}
+	return res, nil
+}
+
+// Report renders a human-readable compilation summary resembling the
+// paper's Figure 11 description.
+func (d *Design) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %s on board %s: %d temporal partition(s)\n",
+		d.Graph.Name, d.Board.Name, len(d.Stages))
+	for si, sp := range d.Stages {
+		fmt.Fprintf(&b, "temporal partition #%d: tasks %s\n", si, strings.Join(sp.Stage.Tasks, ", "))
+		for pe := range d.Board.PEs {
+			var on []string
+			for _, t := range sp.Stage.Tasks {
+				if sp.Stage.TaskPE[t] == pe {
+					on = append(on, t)
+				}
+			}
+			if len(on) > 0 {
+				fmt.Fprintf(&b, "  %s: %s\n", d.Board.PEs[pe].Name, strings.Join(on, ", "))
+			}
+		}
+		for bi, segs := range sp.Stage.Banks {
+			if len(segs) > 0 {
+				fmt.Fprintf(&b, "  bank %s: %s\n", d.Board.Banks[bi].Name, strings.Join(segs, ", "))
+			}
+		}
+		if len(sp.Inserted.Arbiters) == 0 {
+			fmt.Fprintf(&b, "  no arbitration required\n")
+		}
+		for _, a := range sp.Inserted.Arbiters {
+			line := fmt.Sprintf("  Arb%d on %s: tasks %s", a.N(), a.Resource, strings.Join(a.Members, ", "))
+			if len(a.Elided) > 0 {
+				line += fmt.Sprintf(" (elided by dependencies: %s)", strings.Join(a.Elided, ", "))
+			}
+			fmt.Fprintln(&b, line)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package estimate
+
+import (
+	"testing"
+
+	"sparcs/internal/fsm"
+	"sparcs/internal/synth"
+)
+
+func TestCharacterizeCachesAndGrows(t *testing.T) {
+	tab := NewTable(synth.Synplify, fsm.OneHot)
+	e2, err := tab.Characterize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e6, err := tab.Characterize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e6.CLBs <= e2.CLBs {
+		t.Fatalf("area should grow: N=2 %d, N=6 %d", e2.CLBs, e6.CLBs)
+	}
+	if e6.MaxMHz >= e2.MaxMHz {
+		t.Fatalf("clock should fall: N=2 %.1f, N=6 %.1f", e2.MaxMHz, e6.MaxMHz)
+	}
+	// Cached: a second call returns the identical entry.
+	again, err := tab.Characterize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != e6 {
+		t.Fatal("cache miss on repeated characterization")
+	}
+	if e6.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestAreaFnBounds(t *testing.T) {
+	tab := NewTable(synth.Synplify, fsm.OneHot)
+	fn := tab.AreaFn()
+	if fn(1) != 0 {
+		t.Error("N=1 has no arbiter")
+	}
+	if fn(4) <= 0 {
+		t.Error("N=4 should have positive area")
+	}
+	if fn(20) <= fn(10) {
+		t.Error("extrapolation beyond MaxN should grow")
+	}
+}
+
+func TestProtocolOverhead(t *testing.T) {
+	// Figure 8 with M=2: 2 accesses -> one group -> 2 extra cycles.
+	if got := ProtocolOverhead(2, 2); got != 2 {
+		t.Fatalf("overhead(2,2) = %d, want 2", got)
+	}
+	if got := ProtocolOverhead(3, 2); got != 4 {
+		t.Fatalf("overhead(3,2) = %d, want 4 (two groups)", got)
+	}
+	if got := ProtocolOverhead(4, 1); got != 8 {
+		t.Fatalf("overhead(4,1) = %d, want 8", got)
+	}
+	if got := ProtocolOverhead(0, 2); got != 0 {
+		t.Fatalf("overhead(0,2) = %d, want 0", got)
+	}
+}
+
+func TestSlowerThanDesign(t *testing.T) {
+	// Paper Section 4.2: the 10-input arbiter clocks above the 6 MHz FFT
+	// design, so arbitration does not limit the system clock.
+	tab := NewTable(synth.Synplify, fsm.OneHot)
+	slower, err := tab.SlowerThanDesign(10, 6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slower {
+		t.Fatal("the 10-input arbiter must not limit a 6 MHz design")
+	}
+	faster, err := tab.SlowerThanDesign(10, 500.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faster {
+		t.Fatal("a 500 MHz design would be limited by the arbiter")
+	}
+}

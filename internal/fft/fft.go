@@ -1,0 +1,94 @@
+// Package fft implements the paper's Section 5 case study application:
+// the 4x4-pixel two-dimensional FFT, as reference floating-point math, as
+// fixed-point transforms executed by the hardware simulation, and as the
+// USM taskgraph of Figure 10 with the Wildforce mapping.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-order radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two. The input is not modified.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			out[i], out[j] = out[j], out[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+			}
+		}
+	}
+	return out, nil
+}
+
+// DFT computes the discrete Fourier transform directly (O(n^2)), the
+// golden model for FFT tests.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFT2D computes the two-dimensional FFT of a square image (rows then
+// columns). The image must be n x n with n a power of two.
+func FFT2D(img [][]complex128) ([][]complex128, error) {
+	n := len(img)
+	out := make([][]complex128, n)
+	for r := 0; r < n; r++ {
+		if len(img[r]) != n {
+			return nil, fmt.Errorf("fft: image is not square")
+		}
+		row, err := FFT(img[r])
+		if err != nil {
+			return nil, err
+		}
+		out[r] = row
+	}
+	col := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = out[r][c]
+		}
+		f, err := FFT(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			out[r][c] = f[r]
+		}
+	}
+	return out, nil
+}

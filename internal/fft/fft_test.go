@@ -1,0 +1,277 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparcs/internal/sim"
+)
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DFT(x)
+		if !approxEqual(got, want, 1e-6*float64(n)) {
+			t.Fatalf("n=%d: FFT != DFT", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 should be rejected")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Fatal("empty input should be rejected")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTLinearityQuick(t *testing.T) {
+	f := func(seed int64, scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e6 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		n := 16
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		scaled := make([]complex128, n)
+		for i := range x {
+			scaled[i] = x[i] * complex(scale, 0)
+		}
+		fx, _ := FFT(x)
+		fs, _ := FFT(scaled)
+		for i := range fx {
+			if cmplx.Abs(fs[i]-fx[i]*complex(scale, 0)) > 1e-6*(1+math.Abs(scale)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT2DMatchesSeparableDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 8
+	img := make([][]complex128, n)
+	for i := range img {
+		img[i] = make([]complex128, n)
+		for j := range img[i] {
+			img[i][j] = complex(r.NormFloat64(), 0)
+		}
+	}
+	got, err := FFT2D(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct 2-D DFT.
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			var sum complex128
+			for x := 0; x < n; x++ {
+				for y := 0; y < n; y++ {
+					ang := -2 * math.Pi * (float64(u*x)/float64(n) + float64(v*y)/float64(n))
+					sum += img[x][y] * cmplx.Exp(complex(0, ang))
+				}
+			}
+			if cmplx.Abs(got[u][v]-sum) > 1e-6 {
+				t.Fatalf("bin (%d,%d) = %v, want %v", u, v, got[u][v], sum)
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(re, im int32) bool {
+		r, i := Unpack(Pack(re, im))
+		return r == re && i == im
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFT4FixedMatchesFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]int64, 4)
+		ref := make([]complex128, 4)
+		for i := range in {
+			re := int32(r.Intn(1<<20) - 1<<19)
+			im := int32(r.Intn(1<<20) - 1<<19)
+			in[i] = Pack(re, im)
+			ref[i] = complex(float64(re), float64(im))
+		}
+		got := FFT4Fixed(in)
+		want := DFT(ref)
+		for i := range got {
+			re, im := Unpack(got[i])
+			// 4-point twiddles are exact in fixed point.
+			if math.Abs(float64(re)-real(want[i])) > 0.5 || math.Abs(float64(im)-imag(want[i])) > 0.5 {
+				t.Fatalf("trial %d bin %d: got (%d,%d), want (%f,%f)",
+					trial, i, re, im, real(want[i]), imag(want[i]))
+			}
+		}
+	}
+}
+
+func TestTile2DFixedMatchesFloat2D(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		tile := make([]int64, 16)
+		img := make([][]complex128, 4)
+		for row := 0; row < 4; row++ {
+			img[row] = make([]complex128, 4)
+			for c := 0; c < 4; c++ {
+				px := r.Intn(256)
+				tile[row*4+c] = FromPixel(px)
+				img[row][c] = complex(float64(px)*65536, 0)
+			}
+		}
+		got := Tile2DFixed(tile)
+		want, err := FFT2D(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < 4; row++ {
+			for c := 0; c < 4; c++ {
+				re, im := Unpack(got[row*4+c])
+				if math.Abs(float64(re)-real(want[row][c])) > 0.5 ||
+					math.Abs(float64(im)-imag(want[row][c])) > 0.5 {
+					t.Fatalf("trial %d (%d,%d): got (%d,%d), want %v",
+						trial, row, c, re, im, want[row][c])
+				}
+			}
+		}
+	}
+}
+
+func TestTaskgraphValid(t *testing.T) {
+	g := Taskgraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 12 {
+		t.Fatalf("tasks = %d, want 12 (4 F + 8 g)", len(g.Tasks))
+	}
+	if len(g.Segments) != 12 {
+		t.Fatalf("segments = %d, want 12 (MI, ML, MO x4)", len(g.Segments))
+	}
+	// Every g task reads all four ML segments (Figure 10).
+	for _, k := range []string{"g1r", "g3i"} {
+		task := g.TaskByName(k)
+		if len(task.Reads()) != 4 {
+			t.Fatalf("%s reads %v, want the 4 ML segments", k, task.Reads())
+		}
+	}
+}
+
+func TestPaperStagesCoverAllTasks(t *testing.T) {
+	g := Taskgraph()
+	seen := map[string]bool{}
+	for _, stage := range PaperStages() {
+		for _, task := range stage {
+			if g.TaskByName(task) == nil {
+				t.Fatalf("unknown task %s", task)
+			}
+			if seen[task] {
+				t.Fatalf("task %s in two stages", task)
+			}
+			seen[task] = true
+		}
+	}
+	if len(seen) != len(g.Tasks) {
+		t.Fatalf("stages cover %d of %d tasks", len(seen), len(g.Tasks))
+	}
+}
+
+func TestSoftwareModelCalibration(t *testing.T) {
+	// The calibrated model must land on the paper's 6.8 s +- 5%.
+	got := SoftwareSeconds(512)
+	if got < 6.8*0.95 || got > 6.8*1.05 {
+		t.Fatalf("SW model = %.2f s, want about 6.8 s", got)
+	}
+}
+
+func TestHardwareSecondsScaling(t *testing.T) {
+	// Doubling image edge quadruples tiles and time.
+	a := HardwareSeconds(1000, 256)
+	b := HardwareSeconds(1000, 512)
+	if math.Abs(b/a-4) > 1e-9 {
+		t.Fatalf("scaling = %f, want 4x", b/a)
+	}
+	if Tiles(512) != 128*128 {
+		t.Fatalf("Tiles(512) = %d", Tiles(512))
+	}
+}
+
+func TestLoadInputDeterministic(t *testing.T) {
+	m1 := newMem()
+	m2 := newMem()
+	t1 := LoadInput(m1, 3, 7)
+	t2 := LoadInput(m2, 3, 7)
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t2[i][j] {
+				t.Fatal("LoadInput not deterministic")
+			}
+		}
+	}
+	t3 := LoadInput(newMem(), 3, 8)
+	same := true
+	for i := range t1 {
+		for j := range t1[i] {
+			if t1[i][j] != t3[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func newMem() *sim.Memory { return sim.NewMemory() }

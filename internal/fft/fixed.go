@@ -1,0 +1,96 @@
+package fft
+
+// Fixed-point complex arithmetic for the hardware data path: Q16.16
+// real/imaginary parts packed into one int64 word, matching the 32-bit
+// memory banks of the Wildforce (one complex value spans two physical
+// words; the simulator's word granularity carries the pair for
+// convenience).
+
+// Pack builds a packed complex word from Q16.16 real and imaginary parts.
+func Pack(re, im int32) int64 {
+	return int64(uint64(uint32(re))<<32 | uint64(uint32(im)))
+}
+
+// Unpack splits a packed complex word.
+func Unpack(v int64) (re, im int32) {
+	return int32(uint32(uint64(v) >> 32)), int32(uint32(uint64(v)))
+}
+
+// FromPixel converts an integer pixel value to a packed complex word with
+// zero imaginary part.
+func FromPixel(p int) int64 { return Pack(int32(p)<<16, 0) }
+
+// FFT4Fixed computes the 4-point FFT of four packed complex values.
+// Every 4-point twiddle factor is 1, -1, j, or -j, so the transform is
+// exact in fixed point (adds, subtracts, and real/imaginary swaps only) —
+// which is why the 4x4 tile size suited mid-90s FPGAs.
+//
+// Output order is natural (X0..X3).
+func FFT4Fixed(in []int64) []int64 {
+	if len(in) != 4 {
+		panic("fft: FFT4Fixed needs exactly 4 values")
+	}
+	r := make([]int32, 4)
+	m := make([]int32, 4)
+	for i, v := range in {
+		r[i], m[i] = Unpack(v)
+	}
+	// Stage 1 (decimation in time, pairs (0,2) and (1,3)).
+	a0r, a0i := r[0]+r[2], m[0]+m[2]
+	a1r, a1i := r[0]-r[2], m[0]-m[2]
+	a2r, a2i := r[1]+r[3], m[1]+m[3]
+	a3r, a3i := r[1]-r[3], m[1]-m[3]
+	// Stage 2: X0 = a0 + a2; X2 = a0 - a2;
+	// X1 = a1 + (-j)·a3; X3 = a1 - (-j)·a3. (-j)·(x+jy) = y - jx.
+	x0r, x0i := a0r+a2r, a0i+a2i
+	x2r, x2i := a0r-a2r, a0i-a2i
+	x1r, x1i := a1r+a3i, a1i-a3r
+	x3r, x3i := a1r-a3i, a1i+a3r
+	return []int64{Pack(x0r, x0i), Pack(x1r, x1i), Pack(x2r, x2i), Pack(x3r, x3i)}
+}
+
+// RealParts extracts the Q16.16 real parts of packed values.
+func RealParts(in []int64) []int64 {
+	out := make([]int64, len(in))
+	for i, v := range in {
+		re, _ := Unpack(v)
+		out[i] = int64(re)
+	}
+	return out
+}
+
+// ImagParts extracts the Q16.16 imaginary parts of packed values.
+func ImagParts(in []int64) []int64 {
+	out := make([]int64, len(in))
+	for i, v := range in {
+		_, im := Unpack(v)
+		out[i] = int64(im)
+	}
+	return out
+}
+
+// Tile2DFixed computes the full 4x4 two-dimensional fixed-point FFT of a
+// tile given in row-major packed form: the reference the hardware
+// simulation's memory contents are checked against. Rows first, then
+// columns.
+func Tile2DFixed(tile []int64) []int64 {
+	if len(tile) != 16 {
+		panic("fft: Tile2DFixed needs a 4x4 tile")
+	}
+	mid := make([]int64, 16)
+	for row := 0; row < 4; row++ {
+		copy(mid[row*4:], FFT4Fixed(tile[row*4:row*4+4]))
+	}
+	out := make([]int64, 16)
+	col := make([]int64, 4)
+	for c := 0; c < 4; c++ {
+		for rIdx := 0; rIdx < 4; rIdx++ {
+			col[rIdx] = mid[rIdx*4+c]
+		}
+		f := FFT4Fixed(col)
+		for rIdx := 0; rIdx < 4; rIdx++ {
+			out[rIdx*4+c] = f[rIdx]
+		}
+	}
+	return out
+}

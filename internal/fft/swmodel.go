@@ -1,0 +1,38 @@
+package fft
+
+import "math"
+
+// Software baseline: the paper compared against a software 2-D FFT on a
+// 150 MHz Pentium with 48 MB of RAM, reporting 6.8 s for a 512x512 image.
+// That machine no longer exists, so the baseline is a calibrated cost
+// model: a full-resolution radix-2 2-D FFT (rows + columns) at a fixed
+// cycles-per-butterfly rate.
+//
+// SWCyclesPerButterfly = 430 reproduces the paper's own endpoint
+// (2 * 512 * (512/2 * 9) = 2.36M butterflies * 430 / 150 MHz = 6.77 s);
+// the constant absorbs the era's double-precision FPU latency and the
+// cache misses of column-major strides.
+const (
+	// PentiumMHz is the baseline CPU clock.
+	PentiumMHz = 150.0
+	// SWCyclesPerButterfly is the calibrated per-butterfly cost.
+	SWCyclesPerButterfly = 430.0
+)
+
+// SoftwareSeconds models the Pentium-150 software execution time of a
+// full n x n 2-D FFT (n a power of two).
+func SoftwareSeconds(n int) float64 {
+	logN := math.Log2(float64(n))
+	butterflies := 2.0 * float64(n) * (float64(n) / 2.0 * logN)
+	return butterflies * SWCyclesPerButterfly / (PentiumMHz * 1e6)
+}
+
+// Tiles returns the number of 4x4 tiles in an n x n image.
+func Tiles(n int) int { return (n / TileDim) * (n / TileDim) }
+
+// HardwareSeconds extrapolates the hardware execution time of an n x n
+// image from the measured steady-state cycles per tile (summed across the
+// three temporal partitions) at the 6 MHz system clock.
+func HardwareSeconds(cyclesPerTile float64, n int) float64 {
+	return cyclesPerTile * float64(Tiles(n)) / (ClockMHz * 1e6)
+}

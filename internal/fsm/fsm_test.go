@@ -1,0 +1,311 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcs/internal/logic"
+	"sparcs/internal/netlist"
+)
+
+// twoBitCounter is a 4-state counter with an enable input; output "carry"
+// pulses on the 11->00 transition.
+func twoBitCounter() *Machine {
+	g := func(s string) logic.Cube { return logic.MustCube(s) }
+	next := func(i int) int { return (i + 1) % 4 }
+	m := &Machine{
+		Name:    "count2",
+		Inputs:  []string{"en"},
+		Outputs: []string{"carry"},
+		States:  []string{"S0", "S1", "S2", "S3"},
+		Reset:   0,
+	}
+	for i := 0; i < 4; i++ {
+		carry := i == 3
+		m.Trans = append(m.Trans, []Transition{
+			{Guard: g("1"), Next: next(i), Outputs: []bool{carry}},
+			{Guard: g("0"), Next: i, Outputs: []bool{false}},
+		})
+	}
+	return m
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := twoBitCounter().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateOverlappingGuards(t *testing.T) {
+	m := twoBitCounter()
+	m.Trans[0][1].Guard = logic.MustCube("-") // overlaps with "1"
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestValidateIncompleteGuards(t *testing.T) {
+	m := twoBitCounter()
+	m.Trans[0] = m.Trans[0][:1] // only covers en=1
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected exhaustiveness error")
+	}
+}
+
+func TestValidateBadTarget(t *testing.T) {
+	m := twoBitCounter()
+	m.Trans[0][0].Next = 99
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected target range error")
+	}
+}
+
+func TestValidateBadOutputArity(t *testing.T) {
+	m := twoBitCounter()
+	m.Trans[0][0].Outputs = []bool{true, false}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected output arity error")
+	}
+}
+
+func TestReferenceCounts(t *testing.T) {
+	m := twoBitCounter()
+	r := NewReference(m)
+	carries := 0
+	for i := 0; i < 8; i++ {
+		out, err := r.Step([]bool{true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] {
+			carries++
+		}
+	}
+	if carries != 2 {
+		t.Fatalf("carries = %d, want 2 in 8 enabled cycles", carries)
+	}
+	if r.State() != 0 {
+		t.Fatalf("state = %d, want wraparound to 0", r.State())
+	}
+}
+
+func TestReferenceHoldsWhenDisabled(t *testing.T) {
+	r := NewReference(twoBitCounter())
+	r.Step([]bool{true})
+	s := r.State()
+	r.Step([]bool{false})
+	if r.State() != s {
+		t.Fatal("disabled counter should hold state")
+	}
+}
+
+func TestStateCodesOneHot(t *testing.T) {
+	codes, bits := StateCodes(5, OneHot)
+	if bits != 5 {
+		t.Fatalf("one-hot bits = %d, want 5", bits)
+	}
+	for i, code := range codes {
+		ones := 0
+		for b, v := range code {
+			if v {
+				ones++
+				if b != i {
+					t.Fatalf("state %d hot bit at %d", i, b)
+				}
+			}
+		}
+		if ones != 1 {
+			t.Fatalf("state %d has %d hot bits", i, ones)
+		}
+	}
+}
+
+func TestStateCodesCompact(t *testing.T) {
+	codes, bits := StateCodes(5, Compact)
+	if bits != 3 {
+		t.Fatalf("compact bits = %d, want 3", bits)
+	}
+	seen := map[string]bool{}
+	for _, code := range codes {
+		k := ""
+		for _, v := range code {
+			if v {
+				k += "1"
+			} else {
+				k += "0"
+			}
+		}
+		if seen[k] {
+			t.Fatalf("duplicate code %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestStateCodesGrayAdjacent(t *testing.T) {
+	codes, _ := StateCodes(8, Gray)
+	for i := 1; i < len(codes); i++ {
+		diff := 0
+		for b := range codes[i] {
+			if codes[i][b] != codes[i-1][b] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("gray codes %d and %d differ in %d bits", i-1, i, diff)
+		}
+	}
+}
+
+func TestParseEncoding(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want Encoding
+	}{{"one-hot", OneHot}, {"onehot", OneHot}, {"compact", Compact}, {"binary", Compact}, {"gray", Gray}} {
+		got, err := ParseEncoding(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEncoding(%q) = %v, %v", tc.s, got, err)
+		}
+	}
+	if _, err := ParseEncoding("johnson"); err == nil {
+		t.Error("expected error for unknown encoding")
+	}
+}
+
+// coSimulate drives the synthesized netlist and the reference interpreter
+// with the same random input stream and requires identical outputs.
+func coSimulate(t *testing.T, m *Machine, enc Encoding, cycles int, seed int64) {
+	t.Helper()
+	nl, info, err := Synthesize(m, enc)
+	if err != nil {
+		t.Fatalf("%v synth: %v", enc, err)
+	}
+	if info.StateBits <= 0 {
+		t.Fatalf("%v: bad state bits %d", enc, info.StateBits)
+	}
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatalf("%v sim: %v", enc, err)
+	}
+	ref := NewReference(m)
+	r := rand.New(rand.NewSource(seed))
+	in := make([]bool, len(m.Inputs))
+	for c := 0; c < cycles; c++ {
+		for i := range in {
+			in[i] = r.Intn(2) == 1
+		}
+		want, err := ref.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("%v cycle %d: output %s = %v, reference %v (state %s)",
+					enc, c, m.Outputs[o], got[o], want[o], ref.StateName())
+			}
+		}
+	}
+}
+
+func TestSynthesizeCounterAllEncodings(t *testing.T) {
+	for _, enc := range []Encoding{OneHot, Compact, Gray} {
+		coSimulate(t, twoBitCounter(), enc, 300, 42)
+	}
+}
+
+// randomMachine builds a random but valid machine: per state, guards are
+// the minterms of the inputs, so disjoint and complete by construction.
+func randomMachine(r *rand.Rand, states, inputs, outputs int) *Machine {
+	m := &Machine{
+		Name:   "rand",
+		Reset:  0,
+		Inputs: make([]string, inputs),
+	}
+	for i := range m.Inputs {
+		m.Inputs[i] = string(rune('a' + i))
+	}
+	for o := 0; o < outputs; o++ {
+		m.Outputs = append(m.Outputs, string(rune('x'+o)))
+	}
+	for s := 0; s < states; s++ {
+		m.States = append(m.States, string(rune('A'+s)))
+	}
+	for s := 0; s < states; s++ {
+		var ts []Transition
+		for a := 0; a < 1<<uint(inputs); a++ {
+			g := logic.NewCube(inputs)
+			for b := 0; b < inputs; b++ {
+				if a&(1<<uint(b)) != 0 {
+					g = g.WithLit(b, logic.Pos)
+				} else {
+					g = g.WithLit(b, logic.Neg)
+				}
+			}
+			outs := make([]bool, outputs)
+			for o := range outs {
+				outs[o] = r.Intn(2) == 1
+			}
+			ts = append(ts, Transition{Guard: g, Next: r.Intn(states), Outputs: outs})
+		}
+		m.Trans = append(m.Trans, ts)
+	}
+	return m
+}
+
+// Property: synthesized netlists match reference semantics for random
+// machines under every encoding.
+func TestSynthesizeRandomMachinesProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		states := 2 + r.Intn(6)
+		inputs := 1 + r.Intn(3)
+		outputs := 1 + r.Intn(3)
+		m := randomMachine(r, states, inputs, outputs)
+		for _, enc := range []Encoding{OneHot, Compact, Gray} {
+			coSimulate(t, m, enc, 200, int64(trial))
+		}
+	}
+}
+
+func TestSynthesizeRejectsInvalid(t *testing.T) {
+	m := twoBitCounter()
+	m.Trans[0] = m.Trans[0][:1]
+	if _, _, err := Synthesize(m, OneHot); err == nil {
+		t.Fatal("Synthesize should reject invalid machines")
+	}
+}
+
+func TestSynthInfoShape(t *testing.T) {
+	m := twoBitCounter()
+	_, info, err := Synthesize(m, Compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StateBits != 2 {
+		t.Fatalf("compact state bits = %d, want 2", info.StateBits)
+	}
+	if len(info.NextCovers) != 2 || len(info.OutCovers) != 1 {
+		t.Fatalf("covers = %d next, %d out", len(info.NextCovers), len(info.OutCovers))
+	}
+	_, info, err = Synthesize(m, OneHot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StateBits != 4 {
+		t.Fatalf("one-hot state bits = %d, want 4", info.StateBits)
+	}
+}
+
+func TestMachineStepErrors(t *testing.T) {
+	m := twoBitCounter()
+	if _, _, err := m.Step(-1, []bool{true}); err == nil {
+		t.Error("expected state range error")
+	}
+	if _, _, err := m.Step(0, []bool{true, false}); err == nil {
+		t.Error("expected input arity error")
+	}
+}

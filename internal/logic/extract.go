@@ -1,0 +1,297 @@
+package logic
+
+import "sort"
+
+// Lit is a literal over the extraction network's variable space: variable
+// index v appears positive as 2v and negative as 2v+1. Variables at index
+// >= the cover width are pseudo-variables naming extracted products
+// (always referenced positively).
+type Lit int
+
+// MkLit builds a literal for variable v with the given polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(2 * v)
+	if neg {
+		l++
+	}
+	return l
+}
+
+// Var returns the variable index of a literal.
+func (l Lit) Var() int { return int(l) / 2 }
+
+// Neg reports whether the literal is complemented.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Product is one extracted 2-literal pseudo-variable definition: A op B,
+// where A and B may reference earlier products. Or=false means AND.
+type Product struct {
+	Var  int
+	A, B Lit
+	Or   bool
+}
+
+// Extraction is a multi-level network produced by Factor: the original
+// covers rewritten over literals that may reference shared products. It is
+// the bridge from two-level covers to factored multi-level gate networks,
+// standing in for the algebraic-factoring passes of commercial synthesis
+// tools.
+type Extraction struct {
+	Width    int       // original variable count
+	Products []Product // in dependency order (later may use earlier)
+	Covers   [][][]Lit // per input cover: cubes as literal lists
+}
+
+// FactorOptions tunes Factor.
+type FactorOptions struct {
+	// PairMinOcc is the minimum number of cubes an AND literal pair must
+	// co-occur in to be extracted; values < 2 default to 2. Set very high
+	// to disable AND extraction.
+	PairMinOcc int
+	// MergeOr enables single-variant cube merging: cubes differing in one
+	// literal combine through a shared OR product, e.g.
+	// (sCi & chain) | (sFi & chain) -> (sCi|sFi) & chain. This is the
+	// stronger algebraic pass modeled for Synplify.
+	MergeOr bool
+}
+
+// ExtractPairs factors covers with AND-pair extraction only; see Factor.
+func ExtractPairs(covers []*Cover, minOcc int) *Extraction {
+	return Factor(covers, FactorOptions{PairMinOcc: minOcc})
+}
+
+// Factor jointly factors the given covers into a shared multi-level
+// network: optional single-variant OR merging first, then greedy
+// extraction of the most frequently co-occurring AND literal pairs.
+// Priority-chain logic like the arbiter's scan guards collapses from O(N)
+// literals per cube to chained shared products.
+func Factor(covers []*Cover, opts FactorOptions) *Extraction {
+	if opts.PairMinOcc < 2 {
+		opts.PairMinOcc = 2
+	}
+	width := 0
+	if len(covers) > 0 {
+		width = covers[0].Width()
+	}
+	ex := &Extraction{Width: width}
+	for _, cv := range covers {
+		var cubes [][]Lit
+		for _, c := range cv.Cubes() {
+			var lits []Lit
+			for v := 0; v < c.Width(); v++ {
+				switch c.Lit(v) {
+				case Pos:
+					lits = append(lits, MkLit(v, false))
+				case Neg:
+					lits = append(lits, MkLit(v, true))
+				}
+			}
+			sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+			cubes = append(cubes, lits)
+		}
+		ex.Covers = append(ex.Covers, cubes)
+	}
+	nextVar := width
+	if opts.MergeOr {
+		nextVar = ex.mergeSingleVariants(nextVar)
+	}
+	ex.extractAndPairs(opts.PairMinOcc, nextVar)
+	return ex
+}
+
+// mergeSingleVariants repeatedly merges cube pairs within each cover whose
+// symmetric difference is exactly two literals: the pair is replaced by
+// the common cube extended with a shared OR product of the two differing
+// literals. Complementary literals of one variable cancel instead
+// (A&x | A&!x = A). Returns the next unused pseudo-variable index.
+func (ex *Extraction) mergeSingleVariants(nextVar int) int {
+	orCache := map[[2]Lit]Lit{}
+	for ci := range ex.Covers {
+		changed := true
+		for changed {
+			changed = false
+		pairs:
+			for i := 0; i < len(ex.Covers[ci]); i++ {
+				for j := i + 1; j < len(ex.Covers[ci]); j++ {
+					a, b := ex.Covers[ci][i], ex.Covers[ci][j]
+					da, db := symDiff(a, b)
+					if len(da) == 0 && len(db) == 0 {
+						// Duplicate cube produced by an earlier merge.
+						ex.Covers[ci] = append(ex.Covers[ci][:j], ex.Covers[ci][j+1:]...)
+						changed = true
+						break pairs
+					}
+					if len(da) != 1 || len(db) != 1 {
+						continue
+					}
+					la, lb := da[0], db[0]
+					common := intersectLits(a, b)
+					if la.Var() == lb.Var() {
+						// Complementary pair: drop the variable.
+						ex.Covers[ci][i] = common
+					} else {
+						key := [2]Lit{la, lb}
+						if key[0] > key[1] {
+							key[0], key[1] = key[1], key[0]
+						}
+						orLit, ok := orCache[key]
+						if !ok {
+							ex.Products = append(ex.Products, Product{Var: nextVar, A: key[0], B: key[1], Or: true})
+							orLit = MkLit(nextVar, false)
+							orCache[key] = orLit
+							nextVar++
+						}
+						merged := append(append([]Lit(nil), common...), orLit)
+						sort.Slice(merged, func(x, y int) bool { return merged[x] < merged[y] })
+						ex.Covers[ci][i] = merged
+					}
+					ex.Covers[ci] = append(ex.Covers[ci][:j], ex.Covers[ci][j+1:]...)
+					changed = true
+					break pairs
+				}
+			}
+		}
+	}
+	return nextVar
+}
+
+// extractAndPairs greedily extracts the most frequent AND literal pair
+// across all covers until no pair occurs minOcc times.
+func (ex *Extraction) extractAndPairs(minOcc, nextVar int) {
+	for {
+		type pair struct{ a, b Lit }
+		count := map[pair]int{}
+		for _, cubes := range ex.Covers {
+			for _, lits := range cubes {
+				for i := 0; i < len(lits); i++ {
+					for j := i + 1; j < len(lits); j++ {
+						count[pair{lits[i], lits[j]}]++
+					}
+				}
+			}
+		}
+		best := pair{}
+		bestCount := 0
+		for p, c := range count {
+			if c > bestCount || (c == bestCount && c > 0 && (p.a < best.a || (p.a == best.a && p.b < best.b))) {
+				best, bestCount = p, c
+			}
+		}
+		if bestCount < minOcc {
+			return
+		}
+		prod := Product{Var: nextVar, A: best.a, B: best.b}
+		nextVar++
+		ex.Products = append(ex.Products, prod)
+		newLit := MkLit(prod.Var, false)
+		for ci, cubes := range ex.Covers {
+			for qi, lits := range cubes {
+				ia, ib := -1, -1
+				for li, l := range lits {
+					switch {
+					case l == best.a && ia < 0:
+						ia = li
+					case l == best.b && ib < 0:
+						ib = li
+					}
+				}
+				if ia < 0 || ib < 0 {
+					continue
+				}
+				var out []Lit
+				for li, l := range lits {
+					if li == ia || li == ib {
+						continue
+					}
+					out = append(out, l)
+				}
+				out = append(out, newLit)
+				sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+				ex.Covers[ci][qi] = out
+			}
+		}
+	}
+}
+
+// symDiff returns the literals present only in a and only in b (both
+// inputs sorted).
+func symDiff(a, b []Lit) (onlyA, onlyB []Lit) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			onlyA = append(onlyA, a[i])
+			i++
+		default:
+			onlyB = append(onlyB, b[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, a[i:]...)
+	onlyB = append(onlyB, b[j:]...)
+	return onlyA, onlyB
+}
+
+// intersectLits returns the common literals of two sorted lists.
+func intersectLits(a, b []Lit) []Lit {
+	var out []Lit
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// EvalCover evaluates one rewritten cover on an input assignment (over the
+// original width variables), expanding products recursively. Used by tests
+// to prove factoring preserves functions.
+func (ex *Extraction) EvalCover(idx int, in []bool) bool {
+	prodByVar := map[int]Product{}
+	for _, p := range ex.Products {
+		prodByVar[p.Var] = p
+	}
+	var evalLit func(l Lit) bool
+	evalLit = func(l Lit) bool {
+		v := l.Var()
+		var val bool
+		if v < ex.Width {
+			val = in[v]
+		} else {
+			p := prodByVar[v]
+			if p.Or {
+				val = evalLit(p.A) || evalLit(p.B)
+			} else {
+				val = evalLit(p.A) && evalLit(p.B)
+			}
+		}
+		if l.Neg() {
+			return !val
+		}
+		return val
+	}
+	for _, lits := range ex.Covers[idx] {
+		all := true
+		for _, l := range lits {
+			if !evalLit(l) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

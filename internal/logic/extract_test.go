@@ -1,0 +1,165 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(3, false)
+	if l.Var() != 3 || l.Neg() {
+		t.Fatalf("MkLit(3,false) = var %d neg %v", l.Var(), l.Neg())
+	}
+	l = MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() {
+		t.Fatalf("MkLit(7,true) = var %d neg %v", l.Var(), l.Neg())
+	}
+}
+
+func TestExtractPairsFindsChainPrefix(t *testing.T) {
+	// Three cubes sharing the prefix !a&!b (arbiter-style scan chain):
+	// extraction should introduce a product for it.
+	on := MustCover(4, "001-", "00-1", "0011")
+	ex := ExtractPairs([]*Cover{on}, 2)
+	if len(ex.Products) == 0 {
+		t.Fatal("expected at least one extracted product")
+	}
+	// Function must be preserved.
+	in := make([]bool, 4)
+	for m := 0; m < 16; m++ {
+		for i := 0; i < 4; i++ {
+			in[i] = m&(1<<i) != 0
+		}
+		if ex.EvalCover(0, in) != on.Eval(in) {
+			t.Fatalf("extraction changed function at %v", in)
+		}
+	}
+}
+
+func TestExtractSharesAcrossCovers(t *testing.T) {
+	// The same pair appears in two covers; it must be extracted once.
+	a := MustCover(3, "110")
+	b := MustCover(3, "11-")
+	ex := ExtractPairs([]*Cover{a, b}, 2)
+	if len(ex.Products) != 1 {
+		t.Fatalf("products = %d, want exactly 1 shared", len(ex.Products))
+	}
+	p := ex.Products[0]
+	if p.Or {
+		t.Fatal("expected AND product")
+	}
+}
+
+func TestExtractMinOccRespected(t *testing.T) {
+	on := MustCover(3, "110")
+	ex := ExtractPairs([]*Cover{on}, 5)
+	if len(ex.Products) != 0 {
+		t.Fatalf("minOcc=5 should extract nothing, got %d products", len(ex.Products))
+	}
+}
+
+func TestFactorOrMergesSingleVariants(t *testing.T) {
+	// (a & c) | (b & c) -> (a|b) & c.
+	on := MustCover(3, "1-1", "-11")
+	ex := Factor([]*Cover{on}, FactorOptions{MergeOr: true, PairMinOcc: 1 << 30})
+	if len(ex.Covers[0]) != 1 {
+		t.Fatalf("cubes after merge = %d, want 1", len(ex.Covers[0]))
+	}
+	foundOr := false
+	for _, p := range ex.Products {
+		if p.Or {
+			foundOr = true
+		}
+	}
+	if !foundOr {
+		t.Fatal("expected an OR product")
+	}
+	in := make([]bool, 3)
+	for m := 0; m < 8; m++ {
+		for i := 0; i < 3; i++ {
+			in[i] = m&(1<<i) != 0
+		}
+		if ex.EvalCover(0, in) != on.Eval(in) {
+			t.Fatalf("OR merge changed function at %v", in)
+		}
+	}
+}
+
+func TestFactorOrCancelsComplementaryPair(t *testing.T) {
+	// (a & c) | (!a & c) -> c.
+	on := MustCover(2, "11", "01")
+	ex := Factor([]*Cover{on}, FactorOptions{MergeOr: true, PairMinOcc: 1 << 30})
+	if len(ex.Covers[0]) != 1 {
+		t.Fatalf("cubes = %d, want 1", len(ex.Covers[0]))
+	}
+	if len(ex.Covers[0][0]) != 1 {
+		t.Fatalf("merged cube lits = %v, want just c", ex.Covers[0][0])
+	}
+	if len(ex.Products) != 0 {
+		t.Fatal("complementary merge should not create products")
+	}
+}
+
+func TestFactorOrSharesOrProducts(t *testing.T) {
+	// The same (a|b) variant pair in two covers shares one OR product.
+	c1 := MustCover(3, "1-1", "-11")
+	c2 := MustCover(3, "1-0", "-10")
+	ex := Factor([]*Cover{c1, c2}, FactorOptions{MergeOr: true, PairMinOcc: 1 << 30})
+	orCount := 0
+	for _, p := range ex.Products {
+		if p.Or {
+			orCount++
+		}
+	}
+	if orCount != 1 {
+		t.Fatalf("OR products = %d, want 1 shared", orCount)
+	}
+}
+
+// Property: Factor preserves every cover's function under random options.
+func TestFactorEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		width := 2 + r.Intn(5)
+		var covers []*Cover
+		for c := 0; c < 1+r.Intn(3); c++ {
+			covers = append(covers, randomCover(r, width, 1+r.Intn(6)))
+		}
+		opts := FactorOptions{
+			PairMinOcc: 2 + r.Intn(3),
+			MergeOr:    r.Intn(2) == 0,
+		}
+		ex := Factor(covers, opts)
+		in := make([]bool, width)
+		for m := 0; m < 1<<uint(width); m++ {
+			for i := 0; i < width; i++ {
+				in[i] = m&(1<<uint(i)) != 0
+			}
+			for ci, cv := range covers {
+				if ex.EvalCover(ci, in) != cv.Eval(in) {
+					t.Fatalf("trial %d cover %d: factored function differs at %v\norig:\n%s",
+						trial, ci, in, cv)
+				}
+			}
+		}
+	}
+}
+
+func TestFactorEmptyCover(t *testing.T) {
+	ex := Factor([]*Cover{NewCover(3)}, FactorOptions{MergeOr: true})
+	if len(ex.Covers[0]) != 0 {
+		t.Fatal("empty cover should stay empty")
+	}
+	if ex.EvalCover(0, []bool{false, false, false}) {
+		t.Fatal("empty cover evaluates false")
+	}
+}
+
+func TestFactorUniversalCube(t *testing.T) {
+	on := NewCover(2)
+	on.Add(NewCube(2))
+	ex := Factor([]*Cover{on}, FactorOptions{MergeOr: true})
+	if !ex.EvalCover(0, []bool{false, false}) {
+		t.Fatal("universal cover evaluates true")
+	}
+}

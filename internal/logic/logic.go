@@ -1,0 +1,601 @@
+// Package logic provides two-level boolean logic in sum-of-products form:
+// cubes (product terms over a fixed variable set), covers (sets of cubes),
+// truth-table evaluation, and Quine-McCluskey minimization for the small
+// input counts that arise in arbiter next-state logic.
+//
+// The synthesis pipeline (internal/fsm, internal/synth) lowers FSM
+// transition relations to covers, minimizes them here, and hands the result
+// to internal/netlist for gate construction.
+package logic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// LitState is the state of one variable inside a cube.
+type LitState uint8
+
+const (
+	// DontCare means the variable does not appear in the product term.
+	DontCare LitState = iota
+	// Pos means the variable appears uncomplemented.
+	Pos
+	// Neg means the variable appears complemented.
+	Neg
+)
+
+func (l LitState) String() string {
+	switch l {
+	case Pos:
+		return "1"
+	case Neg:
+		return "0"
+	default:
+		return "-"
+	}
+}
+
+// Cube is a single product term over n variables. The zero-value cube of
+// width n (all DontCare) is the universal cube (constant true).
+type Cube struct {
+	lits []LitState
+}
+
+// NewCube returns a universal cube over n variables.
+func NewCube(n int) Cube {
+	return Cube{lits: make([]LitState, n)}
+}
+
+// CubeFromString parses a cube from a PLA-style string, e.g. "1-0" means
+// v0 AND NOT v2 over three variables. Characters: '1' positive, '0'
+// negative, '-' absent.
+func CubeFromString(s string) (Cube, error) {
+	c := NewCube(len(s))
+	for i, ch := range s {
+		switch ch {
+		case '1':
+			c.lits[i] = Pos
+		case '0':
+			c.lits[i] = Neg
+		case '-':
+			c.lits[i] = DontCare
+		default:
+			return Cube{}, fmt.Errorf("logic: invalid cube char %q in %q", ch, s)
+		}
+	}
+	return c, nil
+}
+
+// MustCube is CubeFromString that panics on malformed input; for tests and
+// table literals.
+func MustCube(s string) Cube {
+	c, err := CubeFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Width returns the number of variables the cube ranges over.
+func (c Cube) Width() int { return len(c.lits) }
+
+// Lit returns the literal state of variable i.
+func (c Cube) Lit(i int) LitState { return c.lits[i] }
+
+// WithLit returns a copy of c with variable i set to state s.
+func (c Cube) WithLit(i int, s LitState) Cube {
+	out := Cube{lits: make([]LitState, len(c.lits))}
+	copy(out.lits, c.lits)
+	out.lits[i] = s
+	return out
+}
+
+// NumLiterals counts variables that actually appear (not DontCare).
+func (c Cube) NumLiterals() int {
+	n := 0
+	for _, l := range c.lits {
+		if l != DontCare {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the cube in PLA style ("1-0").
+func (c Cube) String() string {
+	var b strings.Builder
+	for _, l := range c.lits {
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+// Eval reports whether the cube covers the given input assignment.
+// len(in) must equal Width.
+func (c Cube) Eval(in []bool) bool {
+	for i, l := range c.lits {
+		switch l {
+		case Pos:
+			if !in[i] {
+				return false
+			}
+		case Neg:
+			if in[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports whether c covers every minterm that other covers.
+func (c Cube) Contains(other Cube) bool {
+	if len(c.lits) != len(other.lits) {
+		return false
+	}
+	for i, l := range c.lits {
+		if l != DontCare && l != other.lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two cubes share at least one minterm.
+func (c Cube) Intersects(other Cube) bool {
+	if len(c.lits) != len(other.lits) {
+		return false
+	}
+	for i, l := range c.lits {
+		o := other.lits[i]
+		if l != DontCare && o != DontCare && l != o {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality.
+func (c Cube) Equal(other Cube) bool {
+	if len(c.lits) != len(other.lits) {
+		return false
+	}
+	for i := range c.lits {
+		if c.lits[i] != other.lits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge attempts the Quine-McCluskey adjacency merge: if the cubes differ in
+// exactly one variable where one is Pos and the other Neg (and agree
+// elsewhere), the merged cube with that variable dropped is returned.
+func (c Cube) merge(other Cube) (Cube, bool) {
+	if len(c.lits) != len(other.lits) {
+		return Cube{}, false
+	}
+	diff := -1
+	for i := range c.lits {
+		a, b := c.lits[i], other.lits[i]
+		if a == b {
+			continue
+		}
+		if a == DontCare || b == DontCare {
+			return Cube{}, false
+		}
+		if diff >= 0 {
+			return Cube{}, false
+		}
+		diff = i
+	}
+	if diff < 0 {
+		return Cube{}, false
+	}
+	return c.WithLit(diff, DontCare), true
+}
+
+// Cover is a disjunction of cubes over a shared variable width.
+type Cover struct {
+	width int
+	cubes []Cube
+}
+
+// NewCover returns an empty (constant-false) cover over n variables.
+func NewCover(n int) *Cover {
+	return &Cover{width: n}
+}
+
+// CoverFromStrings builds a cover from PLA-style cube strings.
+func CoverFromStrings(width int, cubes ...string) (*Cover, error) {
+	cv := NewCover(width)
+	for _, s := range cubes {
+		c, err := CubeFromString(s)
+		if err != nil {
+			return nil, err
+		}
+		if c.Width() != width {
+			return nil, fmt.Errorf("logic: cube %q width %d != cover width %d", s, c.Width(), width)
+		}
+		cv.Add(c)
+	}
+	return cv, nil
+}
+
+// MustCover is CoverFromStrings that panics on error.
+func MustCover(width int, cubes ...string) *Cover {
+	cv, err := CoverFromStrings(width, cubes...)
+	if err != nil {
+		panic(err)
+	}
+	return cv
+}
+
+// Width returns the variable count.
+func (cv *Cover) Width() int { return cv.width }
+
+// Cubes returns the cover's cubes. The slice must not be mutated.
+func (cv *Cover) Cubes() []Cube { return cv.cubes }
+
+// Len returns the number of cubes.
+func (cv *Cover) Len() int { return len(cv.cubes) }
+
+// NumLiterals returns the total literal count across all cubes, the usual
+// two-level cost metric.
+func (cv *Cover) NumLiterals() int {
+	n := 0
+	for _, c := range cv.cubes {
+		n += c.NumLiterals()
+	}
+	return n
+}
+
+// Add appends a cube unless an existing cube already contains it.
+func (cv *Cover) Add(c Cube) {
+	if c.Width() != cv.width {
+		panic(fmt.Sprintf("logic: cube width %d != cover width %d", c.Width(), cv.width))
+	}
+	for _, have := range cv.cubes {
+		if have.Contains(c) {
+			return
+		}
+	}
+	cv.cubes = append(cv.cubes, c)
+}
+
+// Eval evaluates the cover on an input assignment.
+func (cv *Cover) Eval(in []bool) bool {
+	for _, c := range cv.cubes {
+		if c.Eval(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (cv *Cover) Clone() *Cover {
+	out := NewCover(cv.width)
+	out.cubes = make([]Cube, len(cv.cubes))
+	for i, c := range cv.cubes {
+		lits := make([]LitState, len(c.lits))
+		copy(lits, c.lits)
+		out.cubes[i] = Cube{lits: lits}
+	}
+	return out
+}
+
+// String renders one cube per line in PLA style.
+func (cv *Cover) String() string {
+	ss := make([]string, len(cv.cubes))
+	for i, c := range cv.cubes {
+		ss[i] = c.String()
+	}
+	return strings.Join(ss, "\n")
+}
+
+// Minterms enumerates the on-set as input indices (LSB = variable 0).
+// Only usable for width <= 20.
+func (cv *Cover) Minterms() []uint32 {
+	if cv.width > 20 {
+		panic("logic: Minterms only supported for width <= 20")
+	}
+	var out []uint32
+	in := make([]bool, cv.width)
+	for m := uint32(0); m < 1<<uint(cv.width); m++ {
+		for i := 0; i < cv.width; i++ {
+			in[i] = m&(1<<uint(i)) != 0
+		}
+		if cv.Eval(in) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether two covers denote the same boolean function.
+// Exhaustive for width <= 20; callers with wider functions should sample.
+func Equivalent(a, b *Cover) bool {
+	if a.width != b.width {
+		return false
+	}
+	if a.width > 20 {
+		panic("logic: Equivalent only supported for width <= 20")
+	}
+	in := make([]bool, a.width)
+	for m := uint32(0); m < 1<<uint(a.width); m++ {
+		for i := 0; i < a.width; i++ {
+			in[i] = m&(1<<uint(i)) != 0
+		}
+		if a.Eval(in) != b.Eval(in) {
+			return false
+		}
+	}
+	return true
+}
+
+// Minimize returns a minimized equivalent cover using Quine-McCluskey
+// prime-implicant generation followed by a greedy essential-prime cover.
+// The don't-care set dc (may be nil) is used when generating primes but
+// never needs to be covered. Widths above qmMaxWidth fall back to the
+// cheaper iterative-merge simplifier.
+func Minimize(on *Cover, dc *Cover) *Cover {
+	best := simplify(on)
+	if on.width <= qmMaxWidth && qmFeasible(on, dc) {
+		if qm := qmMinimize(on, dc); betterCover(qm, best) {
+			best = qm
+		}
+	}
+	return best
+}
+
+// qmFeasible bounds the exact minimizer's working set: beyond ~600
+// minterms the level-merging pass dominates runtime for no practical gain
+// over the heuristic pass.
+func qmFeasible(on, dc *Cover) bool {
+	const maxMinterms = 600
+	n := len(on.Minterms())
+	if dc != nil {
+		n += len(dc.Minterms())
+	}
+	return n <= maxMinterms
+}
+
+// Simplify returns an equivalent cover produced by iterative pairwise
+// merging and containment removal only — the cheap pass weaker synthesis
+// tools settle for. It never grows the cover but is not guaranteed
+// minimal, and it ignores don't-cares.
+func Simplify(on *Cover) *Cover {
+	return simplify(on)
+}
+
+// betterCover prefers fewer cubes, then fewer literals.
+func betterCover(a, b *Cover) bool {
+	if a.Len() != b.Len() {
+		return a.Len() < b.Len()
+	}
+	return a.NumLiterals() < b.NumLiterals()
+}
+
+const qmMaxWidth = 12
+
+// bcube is a bitmask product term: care marks bound variables, val their
+// polarity (val is zero outside care). Used internally by the minimizer
+// because mask operations are far cheaper than []LitState walks.
+type bcube struct {
+	care uint32
+	val  uint32
+}
+
+func (b bcube) key() uint64 { return uint64(b.care)<<32 | uint64(b.val) }
+
+func (b bcube) coversMinterm(m uint32) bool { return m&b.care == b.val }
+
+func bcubeFromCube(c Cube) bcube {
+	var b bcube
+	for i, l := range c.lits {
+		switch l {
+		case Pos:
+			b.care |= 1 << uint(i)
+			b.val |= 1 << uint(i)
+		case Neg:
+			b.care |= 1 << uint(i)
+		}
+	}
+	return b
+}
+
+func cubeFromBcube(b bcube, width int) Cube {
+	c := NewCube(width)
+	for i := 0; i < width; i++ {
+		bit := uint32(1) << uint(i)
+		if b.care&bit != 0 {
+			if b.val&bit != 0 {
+				c.lits[i] = Pos
+			} else {
+				c.lits[i] = Neg
+			}
+		}
+	}
+	return c
+}
+
+// qmMinimize is classical Quine-McCluskey over the on+dc minterm set.
+func qmMinimize(on *Cover, dc *Cover) *Cover {
+	onMins := on.Minterms()
+	if len(onMins) == 0 {
+		return NewCover(on.width)
+	}
+	seed := map[uint32]bool{}
+	for _, m := range onMins {
+		seed[m] = true
+	}
+	all := append([]uint32(nil), onMins...)
+	if dc != nil {
+		for _, m := range dc.Minterms() {
+			if !seed[m] {
+				seed[m] = true
+				all = append(all, m)
+			}
+		}
+	}
+	fullCare := uint32(1)<<uint(on.width) - 1
+	current := make([]bcube, 0, len(all))
+	for _, m := range all {
+		current = append(current, bcube{care: fullCare, val: m})
+	}
+	var primes []bcube
+	for len(current) > 0 {
+		merged := map[uint64]bcube{}
+		used := make([]bool, len(current))
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				a, b := current[i], current[j]
+				if a.care != b.care {
+					continue
+				}
+				diff := a.val ^ b.val
+				if diff == 0 || diff&(diff-1) != 0 {
+					continue // zero or more than one differing bit
+				}
+				m := bcube{care: a.care &^ diff, val: a.val &^ diff}
+				merged[m.key()] = m
+				used[i] = true
+				used[j] = true
+			}
+		}
+		for i, c := range current {
+			if !used[i] {
+				primes = append(primes, c)
+			}
+		}
+		next := make([]bcube, 0, len(merged))
+		for _, c := range merged {
+			next = append(next, c)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].key() < next[j].key() })
+		current = next
+	}
+	return coverFromPrimes(on.width, primes, onMins)
+}
+
+// coverFromPrimes selects a small subset of primes covering all on-set
+// minterms: essential primes first, then greedy by coverage count.
+func coverFromPrimes(width int, primes []bcube, onMins []uint32) *Cover {
+	covers := make([][]int32, len(onMins)) // minterm index -> prime indices
+	for mi, m := range onMins {
+		for pi, p := range primes {
+			if p.coversMinterm(m) {
+				covers[mi] = append(covers[mi], int32(pi))
+			}
+		}
+	}
+	chosen := make([]bool, len(primes))
+	covered := make([]bool, len(onMins))
+	// Essential primes.
+	for _, ps := range covers {
+		if len(ps) == 1 {
+			chosen[ps[0]] = true
+		}
+	}
+	markCovered := func() {
+		for mi, ps := range covers {
+			if covered[mi] {
+				continue
+			}
+			for _, pi := range ps {
+				if chosen[pi] {
+					covered[mi] = true
+					break
+				}
+			}
+		}
+	}
+	markCovered()
+	// Greedy for the rest.
+	litCount := func(p bcube) int { return bits.OnesCount32(p.care) }
+	for {
+		count := make([]int, len(primes))
+		remaining := 0
+		for mi, ps := range covers {
+			if covered[mi] {
+				continue
+			}
+			remaining++
+			for _, pi := range ps {
+				if !chosen[pi] {
+					count[pi]++
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		bestPrime, bestCount := -1, 0
+		for pi := range primes {
+			if chosen[pi] || count[pi] == 0 {
+				continue
+			}
+			if count[pi] > bestCount ||
+				(count[pi] == bestCount && litCount(primes[pi]) < litCount(primes[bestPrime])) {
+				bestPrime, bestCount = pi, count[pi]
+			}
+		}
+		if bestPrime < 0 {
+			break // unreachable if primes cover the on-set
+		}
+		chosen[bestPrime] = true
+		markCovered()
+	}
+	out := NewCover(width)
+	for pi, sel := range chosen {
+		if sel {
+			out.Add(cubeFromBcube(primes[pi], width))
+		}
+	}
+	return out
+}
+
+// simplify performs iterative pairwise merging and containment removal.
+// Cheaper than QM and used for wide functions; not guaranteed minimal.
+func simplify(cv *Cover) *Cover {
+	cubes := append([]Cube(nil), cv.cubes...)
+	changed := true
+	for changed {
+		changed = false
+		// Pairwise merge.
+		for i := 0; i < len(cubes) && !changed; i++ {
+			for j := i + 1; j < len(cubes) && !changed; j++ {
+				if m, ok := cubes[i].merge(cubes[j]); ok {
+					cubes[i] = m
+					cubes = append(cubes[:j], cubes[j+1:]...)
+					changed = true
+				}
+			}
+		}
+		// Containment removal.
+		for i := 0; i < len(cubes); i++ {
+			for j := 0; j < len(cubes); j++ {
+				if i == j {
+					continue
+				}
+				if cubes[i].Contains(cubes[j]) {
+					cubes = append(cubes[:j], cubes[j+1:]...)
+					if j < i {
+						i--
+					}
+					changed = true
+					j--
+				}
+			}
+		}
+	}
+	out := NewCover(cv.width)
+	for _, c := range cubes {
+		out.Add(c)
+	}
+	return out
+}

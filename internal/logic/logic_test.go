@@ -1,0 +1,331 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCubeFromString(t *testing.T) {
+	c, err := CubeFromString("1-0")
+	if err != nil {
+		t.Fatalf("CubeFromString: %v", err)
+	}
+	if c.Width() != 3 {
+		t.Fatalf("width = %d, want 3", c.Width())
+	}
+	if c.Lit(0) != Pos || c.Lit(1) != DontCare || c.Lit(2) != Neg {
+		t.Fatalf("lits = %v %v %v", c.Lit(0), c.Lit(1), c.Lit(2))
+	}
+	if got := c.String(); got != "1-0" {
+		t.Fatalf("String = %q, want 1-0", got)
+	}
+}
+
+func TestCubeFromStringInvalid(t *testing.T) {
+	if _, err := CubeFromString("1x0"); err == nil {
+		t.Fatal("expected error for invalid char")
+	}
+}
+
+func TestCubeEval(t *testing.T) {
+	c := MustCube("1-0")
+	cases := []struct {
+		in   []bool
+		want bool
+	}{
+		{[]bool{true, false, false}, true},
+		{[]bool{true, true, false}, true},
+		{[]bool{true, true, true}, false},
+		{[]bool{false, true, false}, false},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.in); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCubeNumLiterals(t *testing.T) {
+	if got := MustCube("1-0").NumLiterals(); got != 2 {
+		t.Fatalf("NumLiterals = %d, want 2", got)
+	}
+	if got := MustCube("---").NumLiterals(); got != 0 {
+		t.Fatalf("universal NumLiterals = %d, want 0", got)
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	big := MustCube("1--")
+	small := MustCube("1-0")
+	if !big.Contains(small) {
+		t.Error("1-- should contain 1-0")
+	}
+	if small.Contains(big) {
+		t.Error("1-0 should not contain 1--")
+	}
+	if !big.Contains(big) {
+		t.Error("cube should contain itself")
+	}
+	if big.Contains(MustCube("1-")) {
+		t.Error("different widths should not contain")
+	}
+}
+
+func TestCubeIntersects(t *testing.T) {
+	if !MustCube("1--").Intersects(MustCube("-0-")) {
+		t.Error("1-- and -0- intersect at 10x")
+	}
+	if MustCube("1--").Intersects(MustCube("0--")) {
+		t.Error("1-- and 0-- are disjoint")
+	}
+}
+
+func TestCubeMerge(t *testing.T) {
+	a := MustCube("101")
+	b := MustCube("100")
+	m, ok := a.merge(b)
+	if !ok {
+		t.Fatal("101 and 100 should merge")
+	}
+	if m.String() != "10-" {
+		t.Fatalf("merge = %q, want 10-", m.String())
+	}
+	if _, ok := MustCube("101").merge(MustCube("010")); ok {
+		t.Error("cubes differing in >1 var should not merge")
+	}
+	if _, ok := MustCube("1-1").merge(MustCube("101")); ok {
+		t.Error("don't-care mismatch should not merge")
+	}
+	if _, ok := MustCube("101").merge(MustCube("101")); ok {
+		t.Error("identical cubes should not merge")
+	}
+}
+
+func TestCoverAddContainment(t *testing.T) {
+	cv := NewCover(3)
+	cv.Add(MustCube("1--"))
+	cv.Add(MustCube("1-0")) // contained, should be dropped
+	if cv.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", cv.Len())
+	}
+}
+
+func TestCoverEval(t *testing.T) {
+	cv := MustCover(2, "1-", "-1")
+	// OR of two variables.
+	if cv.Eval([]bool{false, false}) {
+		t.Error("00 should be false")
+	}
+	for _, in := range [][]bool{{true, false}, {false, true}, {true, true}} {
+		if !cv.Eval(in) {
+			t.Errorf("%v should be true", in)
+		}
+	}
+}
+
+func TestCoverMinterms(t *testing.T) {
+	cv := MustCover(2, "11")
+	ms := cv.Minterms()
+	if len(ms) != 1 || ms[0] != 3 {
+		t.Fatalf("Minterms = %v, want [3]", ms)
+	}
+	cv = MustCover(2, "--")
+	if got := len(cv.Minterms()); got != 4 {
+		t.Fatalf("universal cover minterms = %d, want 4", got)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := MustCover(3, "11-", "1-1")
+	b := MustCover(3, "1-1", "11-")
+	if !Equivalent(a, b) {
+		t.Error("reordered covers should be equivalent")
+	}
+	c := MustCover(3, "11-")
+	if Equivalent(a, c) {
+		t.Error("different functions should not be equivalent")
+	}
+}
+
+func TestMinimizeXorStaysTwoCubes(t *testing.T) {
+	// XOR has no adjacent minterms; QM must keep both cubes.
+	on := MustCover(2, "10", "01")
+	min := Minimize(on, nil)
+	if !Equivalent(on, min) {
+		t.Fatal("minimized XOR not equivalent")
+	}
+	if min.Len() != 2 {
+		t.Fatalf("XOR cover size = %d, want 2", min.Len())
+	}
+}
+
+func TestMinimizeCollapsesFullCube(t *testing.T) {
+	// All four minterms of two variables collapse to the universal cube.
+	on := MustCover(2, "00", "01", "10", "11")
+	min := Minimize(on, nil)
+	if min.Len() != 1 || min.Cubes()[0].NumLiterals() != 0 {
+		t.Fatalf("full on-set should minimize to universal cube, got %v", min)
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	// on = {11}, dc = {10}: minimizer may use dc to produce "1-".
+	on := MustCover(2, "11")
+	dc := MustCover(2, "10")
+	min := Minimize(on, dc)
+	if min.Len() != 1 {
+		t.Fatalf("cover size = %d, want 1", min.Len())
+	}
+	if min.Cubes()[0].String() != "1-" {
+		t.Fatalf("cube = %q, want 1-", min.Cubes()[0].String())
+	}
+}
+
+func TestMinimizeEmpty(t *testing.T) {
+	min := Minimize(NewCover(3), nil)
+	if min.Len() != 0 {
+		t.Fatalf("empty cover should stay empty, got %d cubes", min.Len())
+	}
+}
+
+func TestMinimizeClassic(t *testing.T) {
+	// f = sum of minterms 0,1,2,5,6,7 over 3 vars (classic QM example);
+	// minimal SOP has 3 cubes.
+	on := MustCover(3, "000", "100", "010", "101", "011", "111")
+	min := Minimize(on, nil)
+	if !Equivalent(on, min) {
+		t.Fatal("not equivalent after minimize")
+	}
+	if min.Len() > 3 {
+		t.Fatalf("cover size = %d, want <= 3", min.Len())
+	}
+}
+
+func randomCover(r *rand.Rand, width, cubes int) *Cover {
+	cv := NewCover(width)
+	for i := 0; i < cubes; i++ {
+		c := NewCube(width)
+		for v := 0; v < width; v++ {
+			switch r.Intn(3) {
+			case 0:
+				c = c.WithLit(v, Pos)
+			case 1:
+				c = c.WithLit(v, Neg)
+			}
+		}
+		cv.Add(c)
+	}
+	return cv
+}
+
+// Property: Minimize never changes the function and never grows the cover.
+func TestMinimizeEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		width := 2 + r.Intn(5) // 2..6
+		on := randomCover(r, width, 1+r.Intn(6))
+		min := Minimize(on, nil)
+		if !Equivalent(on, min) {
+			t.Fatalf("trial %d: minimized cover not equivalent\non:\n%s\nmin:\n%s", trial, on, min)
+		}
+		if min.Len() > on.Len() {
+			t.Fatalf("trial %d: cover grew from %d to %d cubes", trial, on.Len(), min.Len())
+		}
+	}
+}
+
+// Property: simplify (wide-width fallback) preserves the function.
+func TestSimplifyEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		width := 2 + r.Intn(5)
+		on := randomCover(r, width, 1+r.Intn(8))
+		simp := simplify(on)
+		if !Equivalent(on, simp) {
+			t.Fatalf("trial %d: simplify changed function", trial)
+		}
+	}
+}
+
+// Property (testing/quick): cube containment implies eval implication.
+func TestContainsImpliesEvalQuick(t *testing.T) {
+	f := func(aBits, bBits uint16, inBits uint8) bool {
+		const width = 4
+		mk := func(bits uint16) Cube {
+			c := NewCube(width)
+			for i := 0; i < width; i++ {
+				switch (bits >> (2 * uint(i))) & 3 {
+				case 1:
+					c = c.WithLit(i, Pos)
+				case 2:
+					c = c.WithLit(i, Neg)
+				}
+			}
+			return c
+		}
+		a, b := mk(aBits), mk(bBits)
+		in := make([]bool, width)
+		for i := 0; i < width; i++ {
+			in[i] = inBits&(1<<uint(i)) != 0
+		}
+		if a.Contains(b) && b.Eval(in) && !a.Eval(in) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): merge result covers exactly the union.
+func TestMergeCoversUnionQuick(t *testing.T) {
+	f := func(aBits, bBits uint16, inBits uint8) bool {
+		const width = 4
+		mk := func(bits uint16) Cube {
+			c := NewCube(width)
+			for i := 0; i < width; i++ {
+				switch (bits >> (2 * uint(i))) & 3 {
+				case 1:
+					c = c.WithLit(i, Pos)
+				case 2:
+					c = c.WithLit(i, Neg)
+				}
+			}
+			return c
+		}
+		a, b := mk(aBits), mk(bBits)
+		m, ok := a.merge(b)
+		if !ok {
+			return true
+		}
+		in := make([]bool, width)
+		for i := 0; i < width; i++ {
+			in[i] = inBits&(1<<uint(i)) != 0
+		}
+		return m.Eval(in) == (a.Eval(in) || b.Eval(in))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverClone(t *testing.T) {
+	cv := MustCover(3, "1-0", "01-")
+	cl := cv.Clone()
+	if !Equivalent(cv, cl) {
+		t.Fatal("clone not equivalent")
+	}
+	cl.Add(MustCube("111"))
+	if cv.Len() == cl.Len() {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestNumLiteralsCover(t *testing.T) {
+	cv := MustCover(3, "1-0", "01-")
+	if got := cv.NumLiterals(); got != 4 {
+		t.Fatalf("NumLiterals = %d, want 4", got)
+	}
+}

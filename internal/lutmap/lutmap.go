@@ -1,0 +1,569 @@
+// Package lutmap performs K-input LUT technology mapping (K=4 for the
+// Xilinx XC4000E function generators) over gate-level netlists.
+//
+// The mapper decomposes gates into a 2-input network, enumerates priority
+// cuts per node (depth-oriented, FlowMap-style objective), and selects a
+// LUT cover for every root (flip-flop D input, primary output, tristate
+// data/enable). Each selected LUT carries its truth table so mapped
+// networks can be re-simulated and checked against the original gates.
+package lutmap
+
+import (
+	"fmt"
+	"sort"
+
+	"sparcs/internal/netlist"
+)
+
+// MaxK is the largest supported LUT input count (truth tables are uint16).
+const MaxK = 4
+
+// LUT is one mapped lookup table. Truth bit i gives the output for the
+// input assignment where Inputs[j] = bit j of i.
+type LUT struct {
+	Inputs []netlist.NetID
+	Out    netlist.NetID
+	Truth  uint16
+	Level  int
+}
+
+// Mapping is the result of technology mapping.
+type Mapping struct {
+	LUTs  []LUT
+	Depth int // LUT levels on the longest source-to-root path
+	K     int
+
+	// Aliases maps root nets that required no LUT (pass-through buffers,
+	// constants, direct input connections) to the net carrying their value.
+	Aliases map[netlist.NetID]netlist.NetID
+
+	// NumFFs and NumTBufs pass through from the netlist; they occupy CLB
+	// flip-flops and tristate resources rather than function generators.
+	NumFFs   int
+	NumTBufs int
+}
+
+// nodeOp is the internal 2-input network operator set.
+type nodeOp uint8
+
+const (
+	opLeaf nodeOp = iota
+	opAnd
+	opOr
+	opXor
+	opNot
+)
+
+type node struct {
+	op   nodeOp
+	fan  [2]int // node indices; fan[1] unused for opNot
+	nfan int
+	net  netlist.NetID // original net this node drives, or Invalid
+}
+
+// Mode selects the mapping objective.
+type Mode uint8
+
+const (
+	// DepthMode minimizes LUT levels, duplicating shared logic into cones
+	// when that shortens paths (the classic FlowMap objective).
+	DepthMode Mode = iota
+	// AreaMode keeps multi-fanout nodes as LUT roots so shared logic is
+	// implemented once, trading depth for area.
+	AreaMode
+)
+
+// Map covers the combinational logic of n with K-input LUTs using
+// DepthMode.
+func Map(n *netlist.Netlist, k int) (*Mapping, error) {
+	return MapMode(n, k, DepthMode)
+}
+
+// MapMode covers the combinational logic of n with K-input LUTs under the
+// given objective.
+func MapMode(n *netlist.Netlist, k int, mode Mode) (*Mapping, error) {
+	if k < 2 || k > MaxK {
+		return nil, fmt.Errorf("lutmap: K must be in [2,%d], got %d", MaxK, k)
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+
+	// Sources: primary inputs, DFF Q nets, constants, tristate nets.
+	sources := map[netlist.NetID]bool{
+		n.Const(false): true,
+		n.Const(true):  true,
+	}
+	for _, id := range n.Inputs() {
+		sources[id] = true
+	}
+	for _, d := range n.DFFs() {
+		sources[d.Q] = true
+	}
+	for _, tb := range n.TBufs() {
+		sources[tb.Out] = true
+	}
+
+	b := &builder{nl: n, byNet: map[netlist.NetID]int{}}
+	srcList := make([]netlist.NetID, 0, len(sources))
+	for net := range sources {
+		srcList = append(srcList, net)
+	}
+	sort.Slice(srcList, func(i, j int) bool { return srcList[i] < srcList[j] })
+	for _, net := range srcList {
+		b.leaf(net)
+	}
+	for _, gi := range order {
+		g := n.Gates()[gi]
+		fanins := make([]int, len(g.In))
+		for i, in := range g.In {
+			ni, ok := b.byNet[in]
+			if !ok {
+				return nil, fmt.Errorf("lutmap: gate %d input net %q has no driver and is not a source", gi, n.NetName(in))
+			}
+			fanins[i] = ni
+		}
+		var out int
+		switch g.Kind {
+		case netlist.And:
+			out = b.tree(opAnd, fanins)
+		case netlist.Or:
+			out = b.tree(opOr, fanins)
+		case netlist.Xor:
+			out = b.tree(opXor, fanins)
+		case netlist.Nand:
+			out = b.not(b.tree(opAnd, fanins))
+		case netlist.Nor:
+			out = b.not(b.tree(opOr, fanins))
+		case netlist.Not:
+			out = b.not(fanins[0])
+		case netlist.Buf:
+			out = fanins[0] // alias through buffers
+		default:
+			return nil, fmt.Errorf("lutmap: unsupported gate kind %v", g.Kind)
+		}
+		if b.nodes[out].net == netlist.Invalid {
+			b.nodes[out].net = g.Out
+		}
+		b.byNet[g.Out] = out
+	}
+
+	// Root nets: D inputs, primary outputs, tristate data/enable nets.
+	rootNets := map[netlist.NetID]bool{}
+	for _, d := range n.DFFs() {
+		rootNets[d.D] = true
+	}
+	for _, o := range n.Outputs() {
+		rootNets[o] = true
+	}
+	for _, tb := range n.TBufs() {
+		rootNets[tb.In] = true
+		rootNets[tb.En] = true
+	}
+
+	cuts := b.enumerateCuts(k, mode)
+
+	m := &Mapping{K: k, NumFFs: len(n.DFFs()), NumTBufs: len(n.TBufs()), Aliases: map[netlist.NetID]netlist.NetID{}}
+	level := map[int]int{} // node -> LUT network level (0 = source)
+	done := map[int]bool{}
+	var selectNode func(ni int)
+	selectNode = func(ni int) {
+		if done[ni] {
+			return
+		}
+		done[ni] = true
+		nd := b.nodes[ni]
+		if nd.op == opLeaf {
+			return
+		}
+		best := cuts[ni].best
+		lv := 0
+		ins := make([]netlist.NetID, 0, len(best.leaves))
+		for _, leaf := range best.leaves {
+			selectNode(leaf)
+			if level[leaf] > lv {
+				lv = level[leaf]
+			}
+			ins = append(ins, b.netOf(leaf))
+		}
+		m.LUTs = append(m.LUTs, LUT{Inputs: ins, Out: b.netOf(ni), Truth: b.truth(ni, best.leaves), Level: lv + 1})
+		level[ni] = lv + 1
+		if lv+1 > m.Depth {
+			m.Depth = lv + 1
+		}
+	}
+	roots := make([]netlist.NetID, 0, len(rootNets))
+	for r := range rootNets {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		ni, ok := b.byNet[r]
+		if !ok {
+			return nil, fmt.Errorf("lutmap: root net %q is undriven", n.NetName(r))
+		}
+		selectNode(ni)
+		if got := b.netOf(ni); got != r {
+			m.Aliases[r] = got
+		}
+	}
+	mergeUnderfull(m, rootNets)
+	return m, nil
+}
+
+// mergeUnderfull is the area-recovery pass: a LUT feeding exactly one
+// other LUT is absorbed into its consumer when the combined input set
+// still fits K inputs. Truth tables are composed; root LUTs are kept.
+func mergeUnderfull(m *Mapping, rootNets map[netlist.NetID]bool) {
+	changed := true
+	for changed {
+		changed = false
+		fanout := map[netlist.NetID]int{}
+		consumer := map[netlist.NetID]int{}
+		for li, l := range m.LUTs {
+			for _, in := range l.Inputs {
+				fanout[in]++
+				consumer[in] = li
+			}
+		}
+		for ai := range m.LUTs {
+			a := m.LUTs[ai]
+			if rootNets[a.Out] || fanout[a.Out] != 1 {
+				continue
+			}
+			bi := consumer[a.Out]
+			b := m.LUTs[bi]
+			// Combined inputs: b's inputs minus a.Out, plus a's inputs.
+			var ins []netlist.NetID
+			seen := map[netlist.NetID]bool{}
+			add := func(id netlist.NetID) {
+				if !seen[id] {
+					seen[id] = true
+					ins = append(ins, id)
+				}
+			}
+			for _, in := range b.Inputs {
+				if in != a.Out {
+					add(in)
+				}
+			}
+			for _, in := range a.Inputs {
+				add(in)
+			}
+			if len(ins) > m.K {
+				continue
+			}
+			// Compose truth tables over the merged input order.
+			var truth uint16
+			for asg := 0; asg < 1<<uint(len(ins)); asg++ {
+				val := func(id netlist.NetID) bool {
+					for i, in := range ins {
+						if in == id {
+							return asg&(1<<uint(i)) != 0
+						}
+					}
+					return false
+				}
+				aIdx := 0
+				for i, in := range a.Inputs {
+					if val(in) {
+						aIdx |= 1 << uint(i)
+					}
+				}
+				aOut := a.Truth&(1<<uint(aIdx)) != 0
+				bIdx := 0
+				for i, in := range b.Inputs {
+					bit := val(in)
+					if in == a.Out {
+						bit = aOut
+					}
+					if bit {
+						bIdx |= 1 << uint(i)
+					}
+				}
+				if b.Truth&(1<<uint(bIdx)) != 0 {
+					truth |= 1 << uint(asg)
+				}
+			}
+			m.LUTs[bi] = LUT{Inputs: ins, Out: b.Out, Truth: truth, Level: b.Level}
+			m.LUTs = append(m.LUTs[:ai], m.LUTs[ai+1:]...)
+			changed = true
+			break
+		}
+	}
+	// Recompute levels and depth after merging.
+	level := map[netlist.NetID]int{}
+	m.Depth = 0
+	for li := range m.LUTs {
+		lv := 0
+		for _, in := range m.LUTs[li].Inputs {
+			if l, ok := level[in]; ok && l > lv {
+				lv = l
+			}
+		}
+		m.LUTs[li].Level = lv + 1
+		level[m.LUTs[li].Out] = lv + 1
+		if lv+1 > m.Depth {
+			m.Depth = lv + 1
+		}
+	}
+}
+
+type builder struct {
+	nl    *netlist.Netlist
+	nodes []node
+	byNet map[netlist.NetID]int
+}
+
+func (b *builder) leaf(net netlist.NetID) int {
+	if ni, ok := b.byNet[net]; ok {
+		return ni
+	}
+	ni := len(b.nodes)
+	b.nodes = append(b.nodes, node{op: opLeaf, net: net})
+	b.byNet[net] = ni
+	return ni
+}
+
+func (b *builder) mk(op nodeOp, a, c int) int {
+	ni := len(b.nodes)
+	b.nodes = append(b.nodes, node{op: op, fan: [2]int{a, c}, nfan: 2, net: netlist.Invalid})
+	return ni
+}
+
+func (b *builder) not(a int) int {
+	ni := len(b.nodes)
+	b.nodes = append(b.nodes, node{op: opNot, fan: [2]int{a, 0}, nfan: 1, net: netlist.Invalid})
+	return ni
+}
+
+// tree builds a balanced 2-input tree over the fanins.
+func (b *builder) tree(op nodeOp, fanins []int) int {
+	if len(fanins) == 1 {
+		return fanins[0]
+	}
+	cur := append([]int(nil), fanins...)
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, b.mk(op, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// netOf returns the original net a node drives, allocating a synthetic net
+// for intermediate decomposition nodes that became LUT boundaries.
+func (b *builder) netOf(ni int) netlist.NetID {
+	if b.nodes[ni].net == netlist.Invalid {
+		b.nodes[ni].net = b.nl.AddNet(fmt.Sprintf("map#%d", ni))
+	}
+	return b.nodes[ni].net
+}
+
+// cut.depth is the maximum LUT depth over the cut's leaves (0 for
+// sources), i.e. the depth a LUT rooted above this cut would sit on.
+type cut struct {
+	leaves []int
+	depth  int
+}
+
+type nodeCuts struct {
+	best cut
+	all  []cut
+}
+
+const priorityCuts = 8
+
+// enumerateCuts computes priority cuts bottom-up. Node indices are already
+// topologically ordered by construction (fanins precede users). In
+// AreaMode, nodes referenced by more than one user expose only their
+// trivial cut, so shared logic is never duplicated into parent cones.
+func (b *builder) enumerateCuts(k int, mode Mode) []nodeCuts {
+	fanout := make([]int, len(b.nodes))
+	for _, nd := range b.nodes {
+		if nd.op == opLeaf {
+			continue
+		}
+		fanout[nd.fan[0]]++
+		if nd.nfan == 2 {
+			fanout[nd.fan[1]]++
+		}
+	}
+	out := make([]nodeCuts, len(b.nodes))
+	lutDepth := make([]int, len(b.nodes)) // depth of a LUT rooted at node
+	for ni, nd := range b.nodes {
+		if nd.op == opLeaf {
+			trivial := cut{leaves: []int{ni}, depth: 0}
+			out[ni] = nodeCuts{best: trivial, all: []cut{trivial}}
+			continue
+		}
+		var cand []cut
+		if nd.nfan == 1 {
+			for _, c := range out[nd.fan[0]].all {
+				cand = append(cand, c)
+			}
+		} else {
+			for _, ca := range out[nd.fan[0]].all {
+				for _, cb := range out[nd.fan[1]].all {
+					merged := mergeLeaves(ca.leaves, cb.leaves, k)
+					if merged == nil {
+						continue
+					}
+					d := ca.depth
+					if cb.depth > d {
+						d = cb.depth
+					}
+					cand = append(cand, cut{leaves: merged, depth: d})
+				}
+			}
+		}
+		sort.Slice(cand, func(i, j int) bool {
+			if cand[i].depth != cand[j].depth {
+				return cand[i].depth < cand[j].depth
+			}
+			return len(cand[i].leaves) < len(cand[j].leaves)
+		})
+		cand = dedupeCuts(cand)
+		if len(cand) > priorityCuts {
+			cand = cand[:priorityCuts]
+		}
+		best := cand[0]
+		lutDepth[ni] = best.depth + 1
+		// Cuts exposed to parents keep their max-leaf-depth; the trivial
+		// self cut carries this node's own LUT depth.
+		var all []cut
+		if mode == AreaMode && fanout[ni] > 1 {
+			all = []cut{{leaves: []int{ni}, depth: lutDepth[ni]}}
+		} else {
+			all = append(append([]cut(nil), cand...), cut{leaves: []int{ni}, depth: lutDepth[ni]})
+		}
+		out[ni] = nodeCuts{best: best, all: all}
+	}
+	return out
+}
+
+func mergeLeaves(a, b []int, k int) []int {
+	merged := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			merged = append(merged, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			merged = append(merged, a[i])
+			i++
+		default:
+			merged = append(merged, b[j])
+			j++
+		}
+		if len(merged) > k {
+			return nil
+		}
+	}
+	for ; i < len(a); i++ {
+		merged = append(merged, a[i])
+		if len(merged) > k {
+			return nil
+		}
+	}
+	for ; j < len(b); j++ {
+		merged = append(merged, b[j])
+		if len(merged) > k {
+			return nil
+		}
+	}
+	return merged
+}
+
+func dedupeCuts(cs []cut) []cut {
+	seen := map[string]bool{}
+	out := cs[:0]
+	for _, c := range cs {
+		key := fmt.Sprint(c.leaves)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// truth evaluates the cone rooted at ni over the given leaves and returns
+// its truth table. Cut leaves bound the cone, so cones are small by
+// construction (<= 2^K evaluations of a few nodes each).
+func (b *builder) truth(ni int, leaves []int) uint16 {
+	leafIdx := map[int]int{}
+	for i, l := range leaves {
+		leafIdx[l] = i
+	}
+	var tt uint16
+	for a := 0; a < 1<<uint(len(leaves)); a++ {
+		memo := map[int]bool{}
+		var eval func(x int) bool
+		eval = func(x int) bool {
+			if li, ok := leafIdx[x]; ok {
+				return a&(1<<uint(li)) != 0
+			}
+			if v, ok := memo[x]; ok {
+				return v
+			}
+			nd := b.nodes[x]
+			var v bool
+			switch nd.op {
+			case opAnd:
+				v = eval(nd.fan[0]) && eval(nd.fan[1])
+			case opOr:
+				v = eval(nd.fan[0]) || eval(nd.fan[1])
+			case opXor:
+				v = eval(nd.fan[0]) != eval(nd.fan[1])
+			case opNot:
+				v = !eval(nd.fan[0])
+			default:
+				panic("lutmap: cone reached a leaf not in the cut")
+			}
+			memo[x] = v
+			return v
+		}
+		if eval(ni) {
+			tt |= 1 << uint(a)
+		}
+	}
+	return tt
+}
+
+// Eval computes all LUT outputs given values for the source nets (primary
+// inputs, DFF Qs, constants, tristate nets). It returns a map with source,
+// alias, and LUT-output net values, enabling equivalence checks against
+// gate-level simulation.
+func (m *Mapping) Eval(sourceVals map[netlist.NetID]bool) map[netlist.NetID]bool {
+	vals := make(map[netlist.NetID]bool, len(sourceVals)+len(m.LUTs))
+	for k, v := range sourceVals {
+		vals[k] = v
+	}
+	// LUTs were appended leaves-before-roots by construction.
+	for _, l := range m.LUTs {
+		idx := 0
+		for i, in := range l.Inputs {
+			if vals[in] {
+				idx |= 1 << uint(i)
+			}
+		}
+		vals[l.Out] = l.Truth&(1<<uint(idx)) != 0
+	}
+	for root, src := range m.Aliases {
+		vals[root] = vals[src]
+	}
+	return vals
+}
+
+// NumLUTs returns the LUT count.
+func (m *Mapping) NumLUTs() int { return len(m.LUTs) }

@@ -1,0 +1,285 @@
+package lutmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcs/internal/fsm"
+	"sparcs/internal/logic"
+	"sparcs/internal/netlist"
+)
+
+func TestMapSimpleAnd(t *testing.T) {
+	n := netlist.New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("y", n.AddGate(netlist.And, a, b))
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLUTs() != 1 || m.Depth != 1 {
+		t.Fatalf("LUTs=%d depth=%d, want 1/1", m.NumLUTs(), m.Depth)
+	}
+}
+
+func TestMapWideAndFitsOneLUT(t *testing.T) {
+	// 4-input AND fits a single 4-LUT despite 2-input decomposition.
+	n := netlist.New()
+	ins := make([]netlist.NetID, 4)
+	for i := range ins {
+		ins[i] = n.AddInput("in")
+	}
+	n.AddOutput("y", n.AddGate(netlist.And, ins...))
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLUTs() != 1 {
+		t.Fatalf("4-input AND mapped to %d LUTs, want 1", m.NumLUTs())
+	}
+	if m.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", m.Depth)
+	}
+}
+
+func TestMapSixInputAndNeedsTwoLevels(t *testing.T) {
+	n := netlist.New()
+	ins := make([]netlist.NetID, 6)
+	for i := range ins {
+		ins[i] = n.AddInput("in")
+	}
+	n.AddOutput("y", n.AddGate(netlist.And, ins...))
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth != 2 {
+		t.Fatalf("6-input AND depth = %d, want 2", m.Depth)
+	}
+}
+
+func TestMapRejectsBadK(t *testing.T) {
+	n := netlist.New()
+	a := n.AddInput("a")
+	n.AddOutput("y", n.AddGate(netlist.Not, a))
+	if _, err := Map(n, 1); err == nil {
+		t.Error("K=1 should be rejected")
+	}
+	if _, err := Map(n, 7); err == nil {
+		t.Error("K=7 should be rejected")
+	}
+}
+
+func TestMapPassThroughAlias(t *testing.T) {
+	// Output driven by a buffer from an input: no LUT, alias recorded.
+	n := netlist.New()
+	a := n.AddInput("a")
+	y := n.AddGate(netlist.Buf, a)
+	n.AddOutput("y", y)
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLUTs() != 0 {
+		t.Fatalf("pass-through should map to 0 LUTs, got %d", m.NumLUTs())
+	}
+	if m.Aliases[y] != a {
+		t.Fatalf("alias of %d = %d, want %d", y, m.Aliases[y], a)
+	}
+	vals := m.Eval(map[netlist.NetID]bool{a: true})
+	if !vals[y] {
+		t.Fatal("Eval should resolve alias")
+	}
+}
+
+// evalAgainstGates checks the mapped network against gate-level simulation
+// on random input vectors.
+func evalAgainstGates(t *testing.T, n *netlist.Netlist, vectors int, seed int64) {
+	t.Helper()
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	ins := n.Inputs()
+	inVec := make([]bool, len(ins))
+	for v := 0; v < vectors; v++ {
+		for i := range inVec {
+			inVec[i] = r.Intn(2) == 1
+		}
+		outVec, err := sim.Step(inVec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := map[netlist.NetID]bool{
+			n.Const(false): false,
+			n.Const(true):  true,
+		}
+		for i, id := range ins {
+			src[id] = inVec[i]
+		}
+		// Combinational circuits only: no DFFs to seed.
+		vals := m.Eval(src)
+		for i, id := range n.Outputs() {
+			got, ok := vals[id]
+			if !ok {
+				t.Fatalf("vector %d: output net %d missing from mapping eval", v, id)
+			}
+			if got != outVec[i] {
+				t.Fatalf("vector %d: output %d = %v, gates say %v", v, i, got, outVec[i])
+			}
+		}
+	}
+}
+
+func TestMapEquivalenceRandomLogic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := netlist.New()
+		width := 3 + r.Intn(4)
+		ins := make([]netlist.NetID, width)
+		for i := range ins {
+			ins[i] = n.AddInput("in")
+		}
+		// Random SOP covers as outputs.
+		for o := 0; o < 1+r.Intn(3); o++ {
+			cv := logic.NewCover(width)
+			for c := 0; c < 1+r.Intn(5); c++ {
+				cube := logic.NewCube(width)
+				for v := 0; v < width; v++ {
+					switch r.Intn(3) {
+					case 0:
+						cube = cube.WithLit(v, logic.Pos)
+					case 1:
+						cube = cube.WithLit(v, logic.Neg)
+					}
+				}
+				cv.Add(cube)
+			}
+			n.AddOutput("f", n.AddCover(cv, ins))
+		}
+		evalAgainstGates(t, n, 64, int64(trial))
+	}
+}
+
+func TestMapXorChain(t *testing.T) {
+	n := netlist.New()
+	ins := make([]netlist.NetID, 8)
+	for i := range ins {
+		ins[i] = n.AddInput("in")
+	}
+	n.AddOutput("parity", n.AddGate(netlist.Xor, ins...))
+	evalAgainstGates(t, n, 128, 99)
+	m, _ := Map(n, 4)
+	if m.Depth != 2 {
+		t.Fatalf("8-input XOR depth = %d, want 2 with 4-LUTs", m.Depth)
+	}
+}
+
+func TestMapNandNor(t *testing.T) {
+	n := netlist.New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("nand", n.AddGate(netlist.Nand, a, b))
+	n.AddOutput("nor", n.AddGate(netlist.Nor, a, b))
+	evalAgainstGates(t, n, 16, 5)
+}
+
+// TestMapSynthesizedFSM maps a synthesized FSM and cross-checks one full
+// sequential run: gate simulator vs LUT network stepped by hand.
+func TestMapSynthesizedFSM(t *testing.T) {
+	g := func(s string) logic.Cube { return logic.MustCube(s) }
+	m := &fsm.Machine{
+		Name:    "gray2",
+		Inputs:  []string{"en"},
+		Outputs: []string{"msb"},
+		States:  []string{"A", "B", "C", "D"},
+		Reset:   0,
+	}
+	for i := 0; i < 4; i++ {
+		m.Trans = append(m.Trans, []fsm.Transition{
+			{Guard: g("1"), Next: (i + 1) % 4, Outputs: []bool{i >= 2}},
+			{Guard: g("0"), Next: i, Outputs: []bool{i >= 2}},
+		})
+	}
+	nl, _, err := fsm.Synthesize(m, fsm.Compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Map(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.NumFFs != 2 {
+		t.Fatalf("NumFFs = %d, want 2", mp.NumFFs)
+	}
+
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual sequential stepping of the LUT network.
+	state := make(map[netlist.NetID]bool)
+	for _, d := range nl.DFFs() {
+		state[d.Q] = d.Init
+	}
+	r := rand.New(rand.NewSource(17))
+	for c := 0; c < 200; c++ {
+		en := r.Intn(2) == 1
+		gateOut, err := sim.Step([]bool{en})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := map[netlist.NetID]bool{
+			nl.Const(false): false,
+			nl.Const(true):  true,
+			nl.Inputs()[0]:  en,
+		}
+		for k, v := range state {
+			src[k] = v
+		}
+		vals := mp.Eval(src)
+		if vals[nl.Outputs()[0]] != gateOut[0] {
+			t.Fatalf("cycle %d: LUT output %v, gates %v", c, vals[nl.Outputs()[0]], gateOut[0])
+		}
+		for _, d := range nl.DFFs() {
+			nv, ok := vals[d.D]
+			if !ok {
+				t.Fatalf("cycle %d: D net %d missing from eval", c, d.D)
+			}
+			state[d.Q] = nv
+		}
+	}
+}
+
+func TestLUTLevelsMonotone(t *testing.T) {
+	// Every LUT's level must exceed the levels of the LUTs feeding it.
+	n := netlist.New()
+	ins := make([]netlist.NetID, 9)
+	for i := range ins {
+		ins[i] = n.AddInput("in")
+	}
+	x := n.AddGate(netlist.And, ins[0], ins[1], ins[2], ins[3], ins[4])
+	y := n.AddGate(netlist.Or, x, ins[5], ins[6], ins[7], ins[8])
+	n.AddOutput("y", y)
+	m, err := Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levelOf := map[netlist.NetID]int{}
+	for _, l := range m.LUTs {
+		levelOf[l.Out] = l.Level
+	}
+	for _, l := range m.LUTs {
+		for _, in := range l.Inputs {
+			if lv, ok := levelOf[in]; ok && lv >= l.Level {
+				t.Fatalf("LUT at level %d has input at level %d", l.Level, lv)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package netlist
+
+import (
+	"fmt"
+
+	"sparcs/internal/logic"
+)
+
+// AddCover instantiates a sum-of-products cover as AND-OR logic over the
+// given input nets (one net per cover variable, in order) and returns the
+// net computing the cover. Inverters are shared across cubes.
+//
+// An empty cover yields constant 0; a cover containing the universal cube
+// yields constant 1.
+func (n *Netlist) AddCover(cv *logic.Cover, in []NetID) NetID {
+	if len(in) != cv.Width() {
+		panic(fmt.Sprintf("netlist: cover width %d != %d input nets", cv.Width(), len(in)))
+	}
+	if cv.Len() == 0 {
+		return n.Const(false)
+	}
+	inv := make(map[NetID]NetID) // shared inverters
+	invOf := func(id NetID) NetID {
+		if v, ok := inv[id]; ok {
+			return v
+		}
+		v := n.AddGate(Not, id)
+		inv[id] = v
+		return v
+	}
+	var terms []NetID
+	for _, cube := range cv.Cubes() {
+		var lits []NetID
+		for v := 0; v < cube.Width(); v++ {
+			switch cube.Lit(v) {
+			case logic.Pos:
+				lits = append(lits, in[v])
+			case logic.Neg:
+				lits = append(lits, invOf(in[v]))
+			}
+		}
+		switch len(lits) {
+		case 0:
+			return n.Const(true) // universal cube dominates
+		case 1:
+			terms = append(terms, lits[0])
+		default:
+			terms = append(terms, n.AddGate(And, lits...))
+		}
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	return n.AddGate(Or, terms...)
+}

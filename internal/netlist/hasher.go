@@ -1,0 +1,65 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hasher builds gates with structural hash-consing: two requests for the
+// same gate kind over the same input set return the same net. Commutative
+// gates are canonicalized by sorting inputs. This is the structural
+// sharing every real synthesis tool performs, and it is what lets the
+// arbiter's duplicated scan logic (state Ci and Fi share their entire
+// priority chain; next-state and grant covers coincide) collapse.
+type Hasher struct {
+	n     *Netlist
+	cache map[string]NetID
+}
+
+// NewHasher returns a Hasher over the netlist.
+func NewHasher(n *Netlist) *Hasher {
+	return &Hasher{n: n, cache: map[string]NetID{}}
+}
+
+// Gate returns a net computing kind over the inputs, reusing an existing
+// structurally identical gate when possible.
+func (h *Hasher) Gate(kind GateKind, in ...NetID) NetID {
+	ins := append([]NetID(nil), in...)
+	switch kind {
+	case And, Or, Xor, Nand, Nor:
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	}
+	key := fmt.Sprint(int(kind), ins)
+	if id, ok := h.cache[key]; ok {
+		return id
+	}
+	id := h.n.AddGate(kind, ins...)
+	h.cache[key] = id
+	return id
+}
+
+// Not returns a shared inverter of in.
+func (h *Hasher) Not(in NetID) NetID { return h.Gate(Not, in) }
+
+// Tree builds a balanced tree of 2-input gates of the given kind over the
+// inputs, hash-consing every level. A single input passes through; empty
+// input lists are rejected.
+func (h *Hasher) Tree(kind GateKind, in []NetID) NetID {
+	if len(in) == 0 {
+		panic("netlist: Hasher.Tree with no inputs")
+	}
+	cur := append([]NetID(nil), in...)
+	// Sort so equal input sets produce identical trees.
+	sort.Slice(cur, func(i, j int) bool { return cur[i] < cur[j] })
+	for len(cur) > 1 {
+		var next []NetID
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, h.Gate(kind, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}

@@ -1,0 +1,321 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparcs/internal/logic"
+)
+
+func TestGateEvalBasics(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("and", n.AddGate(And, a, b))
+	n.AddOutput("or", n.AddGate(Or, a, b))
+	n.AddOutput("xor", n.AddGate(Xor, a, b))
+	n.AddOutput("nand", n.AddGate(Nand, a, b))
+	n.AddOutput("nor", n.AddGate(Nor, a, b))
+	n.AddOutput("nota", n.AddGate(Not, a))
+
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		a, b bool
+		want [6]bool // and or xor nand nor nota
+	}{
+		{false, false, [6]bool{false, false, false, true, true, true}},
+		{true, false, [6]bool{false, true, true, true, false, false}},
+		{false, true, [6]bool{false, true, true, true, false, true}},
+		{true, true, [6]bool{true, true, false, false, false, false}},
+	} {
+		out, err := s.Step([]bool{tc.a, tc.b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range tc.want {
+			if out[i] != want {
+				t.Errorf("a=%v b=%v out[%d] = %v, want %v", tc.a, tc.b, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestDFFHoldsState(t *testing.T) {
+	// Toggle flip-flop: D = NOT Q.
+	n := New()
+	d := n.AddNet("d")
+	q := n.AddDFF(d, false, "q")
+	n.AddGateOut(Not, d, q)
+	n.AddOutput("q", q)
+
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := false
+	for i := 0; i < 8; i++ {
+		out, err := s.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != want {
+			t.Fatalf("cycle %d: q = %v, want %v", i, out[0], want)
+		}
+		want = !want
+	}
+}
+
+func TestDFFInitValue(t *testing.T) {
+	n := New()
+	q := n.AddDFF(n.Const(true), true, "q")
+	n.AddOutput("q", q)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Step(nil)
+	if !out[0] {
+		t.Fatal("DFF with Init=true should present true on first cycle")
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	n := New()
+	a := n.AddNet("a")
+	b := n.AddGate(Not, a)
+	n.AddGateOut(Buf, a, b) // a = BUF(NOT(a)): cycle
+	if _, err := NewSimulator(n); err == nil {
+		t.Fatal("expected combinational cycle error")
+	}
+}
+
+func TestDoubleDriverDetected(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	out := n.AddGate(Not, a)
+	n.AddGateOut(Buf, out, a) // second driver on the same net
+	if _, err := NewSimulator(n); err == nil {
+		t.Fatal("expected double-driver error")
+	}
+}
+
+func TestTristateResolution(t *testing.T) {
+	// Two drivers on a shared bus line, like two tasks sharing a memory
+	// data line (paper Figure 4a).
+	n := New()
+	d1 := n.AddInput("d1")
+	e1 := n.AddInput("e1")
+	d2 := n.AddInput("d2")
+	e2 := n.AddInput("e2")
+	bus := n.AddNet("bus")
+	n.AddTBuf(d1, e1, bus)
+	n.AddTBuf(d2, e2, bus)
+	n.AddOutput("bus", bus)
+
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single driver 1.
+	out, _ := s.Step([]bool{true, true, false, false})
+	if !out[0] {
+		t.Fatal("bus should carry d1")
+	}
+	if v, z := s.Value(bus); !v || z {
+		t.Fatalf("Value(bus) = %v hiZ=%v", v, z)
+	}
+	// No drivers: high-Z.
+	s.Step([]bool{true, false, true, false})
+	if _, z := s.Value(bus); !z {
+		t.Fatal("bus should be high-impedance with no drivers")
+	}
+	if len(s.Conflicts()) != 0 {
+		t.Fatalf("no conflict expected yet, got %v", s.Conflicts())
+	}
+	// Both drivers: conflict recorded.
+	s.Step([]bool{true, true, false, true})
+	if len(s.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %v, want exactly 1", s.Conflicts())
+	}
+	c := s.Conflicts()[0]
+	if c.Net != bus || c.Drivers != 2 {
+		t.Fatalf("conflict = %+v", c)
+	}
+}
+
+func TestTristateFeedsGate(t *testing.T) {
+	// Tristate net consumed by downstream logic must evaluate in order.
+	n := New()
+	d1 := n.AddInput("d1")
+	e1 := n.AddInput("e1")
+	bus := n.AddNet("bus")
+	n.AddTBuf(d1, e1, bus)
+	n.AddOutput("notbus", n.AddGate(Not, bus))
+
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Step([]bool{true, true})
+	if out[0] {
+		t.Fatal("NOT(bus) should be false when bus carries 1")
+	}
+}
+
+func TestGateFeedsTristateEnable(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	en := n.AddGate(And, a, b)
+	bus := n.AddNet("bus")
+	n.AddTBuf(n.Const(true), en, bus)
+	n.AddOutput("bus", bus)
+
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Step([]bool{true, true})
+	if !out[0] {
+		t.Fatal("bus should be driven when AND enables")
+	}
+	s.Step([]bool{true, false})
+	if _, z := s.Value(bus); !z {
+		t.Fatal("bus should be high-Z when AND disables")
+	}
+}
+
+func TestStepNamed(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("y", n.AddGate(And, a, b))
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.StepNamed(map[string]bool{"a": true, "b": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["y"] {
+		t.Fatal("y should be true")
+	}
+	out, _ = s.StepNamed(map[string]bool{"a": true}) // b defaults false
+	if out["y"] {
+		t.Fatal("y should be false with missing b")
+	}
+}
+
+func TestStepInputCountMismatch(t *testing.T) {
+	n := New()
+	n.AddInput("a")
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step([]bool{true, false}); err == nil {
+		t.Fatal("expected input-count error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.AddGate(And, a, b)
+	y := n.AddGate(Or, x, a)
+	n.AddDFF(y, false, "q")
+	n.AddOutput("y", y)
+	st, err := n.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gates != 2 || st.DFFs != 1 || st.Depth != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByKind[And] != 1 || st.ByKind[Or] != 1 {
+		t.Fatalf("byKind = %v", st.ByKind)
+	}
+}
+
+func TestAddCoverMatchesCoverEval(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		width := 2 + r.Intn(4)
+		cv := logic.NewCover(width)
+		for c := 0; c < 1+r.Intn(5); c++ {
+			cube := logic.NewCube(width)
+			for v := 0; v < width; v++ {
+				switch r.Intn(3) {
+				case 0:
+					cube = cube.WithLit(v, logic.Pos)
+				case 1:
+					cube = cube.WithLit(v, logic.Neg)
+				}
+			}
+			cv.Add(cube)
+		}
+		n := New()
+		ins := make([]NetID, width)
+		for i := range ins {
+			ins[i] = n.AddInput("in")
+		}
+		n.AddOutput("f", n.AddCover(cv, ins))
+		s, err := NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inVec := make([]bool, width)
+		for m := 0; m < 1<<uint(width); m++ {
+			for i := 0; i < width; i++ {
+				inVec[i] = m&(1<<uint(i)) != 0
+			}
+			out, err := s.Step(inVec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != cv.Eval(inVec) {
+				t.Fatalf("trial %d: netlist(%v) = %v, cover = %v\ncover:\n%s",
+					trial, inVec, out[0], cv.Eval(inVec), cv)
+			}
+		}
+	}
+}
+
+func TestAddCoverEmptyAndUniversal(t *testing.T) {
+	n := New()
+	a := n.AddInput("a")
+	empty := n.AddCover(logic.NewCover(1), []NetID{a})
+	if empty != n.Const(false) {
+		t.Fatal("empty cover should be const 0")
+	}
+	uni := logic.NewCover(1)
+	uni.Add(logic.NewCube(1))
+	one := n.AddCover(uni, []NetID{a})
+	if one != n.Const(true) {
+		t.Fatal("universal cover should be const 1")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	n := New()
+	d := n.AddNet("d")
+	q := n.AddDFF(d, false, "q")
+	n.AddGateOut(Not, d, q)
+	n.AddOutput("q", q)
+	s, _ := NewSimulator(n)
+	s.Step(nil)
+	s.Step(nil)
+	s.Reset()
+	if s.Cycle() != 0 {
+		t.Fatal("Reset should zero the cycle counter")
+	}
+	out, _ := s.Step(nil)
+	if out[0] != false {
+		t.Fatal("Reset should restore DFF init value")
+	}
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"sparcs/internal/rc"
+	"sparcs/internal/taskgraph"
+)
+
+// PhysChannel is one physical inter-PE connection carrying one or more
+// logical channels (paper Section 2.2, Figure 3). Every logical channel
+// terminates in a register at its receiving end, so sharing never loses
+// data; an arbiter is required when the merged channels have multiple
+// unordered source tasks.
+type PhysChannel struct {
+	Name     string
+	A, B     int // PE endpoints
+	Pins     int // data width of the shared channel (max logical width)
+	Logical  []string
+	Arbiter  *ArbiterSpec // nil when a single source (or ordered sources)
+	ViaXbar  bool
+	SrcTasks []string
+}
+
+// RouteChannels merges the stage's logical channels onto physical
+// channels: all logical channels between one PE pair share a single
+// physical channel sized to the widest logical channel. Channels between
+// tasks on the same PE need no physical resources.
+func RouteChannels(g *taskgraph.Graph, board *rc.Board, st *Stage) ([]PhysChannel, error) {
+	inStage := map[string]bool{}
+	for _, t := range st.Tasks {
+		inStage[t] = true
+	}
+	group := map[[2]int][]*taskgraph.Channel{}
+	for _, c := range g.Channels {
+		if !inStage[c.From] || !inStage[c.To] {
+			continue
+		}
+		pa, pb := st.TaskPE[c.From], st.TaskPE[c.To]
+		if pa == pb {
+			continue // on-chip connection
+		}
+		key := [2]int{min(pa, pb), max(pa, pb)}
+		group[key] = append(group[key], c)
+	}
+	keys := make([][2]int, 0, len(group))
+	for k := range group {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0] < keys[j][0] || (keys[i][0] == keys[j][0] && keys[i][1] < keys[j][1])
+	})
+	var out []PhysChannel
+	for _, key := range keys {
+		chans := group[key]
+		width := 0
+		var logical, sources []string
+		srcSeen := map[string]bool{}
+		for _, c := range chans {
+			if c.WidthBits > width {
+				width = c.WidthBits
+			}
+			logical = append(logical, c.Name)
+			if !srcSeen[c.From] {
+				srcSeen[c.From] = true
+				sources = append(sources, c.From)
+			}
+		}
+		pc := PhysChannel{
+			Name:     fmt.Sprintf("chan_%d_%d", key[0]+1, key[1]+1),
+			A:        key[0],
+			B:        key[1],
+			Pins:     width,
+			Logical:  logical,
+			SrcTasks: sources,
+		}
+		if _, ok := board.LinkBetween(key[0], key[1]); !ok {
+			pc.ViaXbar = true
+		}
+		// Arbitration is needed when distinct unordered source tasks
+		// share the physical channel (paper Section 4.3: "an arbiter is
+		// required when different sources of the shared channels belong
+		// to different tasks").
+		members := g.UnorderedMembers(sources)
+		if len(members) >= 2 {
+			var elided []string
+			memberSet := map[string]bool{}
+			for _, m := range members {
+				memberSet[m] = true
+			}
+			for _, s := range sources {
+				if !memberSet[s] {
+					elided = append(elided, s)
+				}
+			}
+			pc.Arbiter = &ArbiterSpec{Resource: pc.Name, Members: members, Elided: elided}
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package rc models reconfigurable-computer board architectures: FPGA
+// processing elements, memory banks, fixed inter-PE links, and a
+// programmable crossbar (paper Sections 1 and 5). The partitioning and
+// arbitration tools consume only this abstract description, which is
+// exactly the architecture-independence the paper argues for.
+package rc
+
+import (
+	"fmt"
+
+	"sparcs/internal/xc4000"
+)
+
+// PE is one FPGA processing element.
+type PE struct {
+	Name   string
+	Device xc4000.Device
+}
+
+// Bank is one physical memory bank, attached to a PE's local bus.
+type Bank struct {
+	Name      string
+	PE        int // index of the PE the bank is local to
+	SizeBytes int
+	WidthBits int
+}
+
+// Link is a fixed set of pins between two neighboring PEs.
+type Link struct {
+	A, B int
+	Pins int
+}
+
+// Board is a complete reconfigurable computer description.
+type Board struct {
+	Name  string
+	PEs   []PE
+	Banks []Bank
+	Links []Link
+	// XbarPins is the per-PE pin budget into the programmable crossbar
+	// (0 means the board has no crossbar).
+	XbarPins int
+}
+
+// Wildforce returns the Annapolis MicroSystems Wildforce board used in the
+// paper's Section 5 case study: four XC4013E PEs, a 32-KByte local memory
+// per PE, 36 fixed pins between neighbors, and a 36-pin-per-PE
+// programmable crossbar.
+func Wildforce() *Board {
+	b := &Board{Name: "wildforce", XbarPins: 36}
+	for i := 0; i < 4; i++ {
+		b.PEs = append(b.PEs, PE{Name: fmt.Sprintf("PE%d", i+1), Device: xc4000.XC4013E})
+		b.Banks = append(b.Banks, Bank{
+			Name:      fmt.Sprintf("M%d", i+1),
+			PE:        i,
+			SizeBytes: 32 * 1024,
+			WidthBits: 32,
+		})
+	}
+	for i := 0; i < 3; i++ {
+		b.Links = append(b.Links, Link{A: i, B: i + 1, Pins: 36})
+	}
+	return b
+}
+
+// Generic returns a configurable board for portability experiments:
+// n PEs of the given device, one local bank each, neighbor links, and a
+// crossbar.
+func Generic(n int, device xc4000.Device, bankBytes, linkPins, xbarPins int) *Board {
+	b := &Board{Name: fmt.Sprintf("generic-%d", n), XbarPins: xbarPins}
+	for i := 0; i < n; i++ {
+		b.PEs = append(b.PEs, PE{Name: fmt.Sprintf("PE%d", i+1), Device: device})
+		b.Banks = append(b.Banks, Bank{
+			Name:      fmt.Sprintf("M%d", i+1),
+			PE:        i,
+			SizeBytes: bankBytes,
+			WidthBits: 32,
+		})
+	}
+	for i := 0; i < n-1; i++ {
+		b.Links = append(b.Links, Link{A: i, B: i + 1, Pins: linkPins})
+	}
+	return b
+}
+
+// Validate checks structural sanity.
+func (b *Board) Validate() error {
+	if len(b.PEs) == 0 {
+		return fmt.Errorf("rc %s: no processing elements", b.Name)
+	}
+	for _, bank := range b.Banks {
+		if bank.PE < 0 || bank.PE >= len(b.PEs) {
+			return fmt.Errorf("rc %s: bank %s attached to invalid PE %d", b.Name, bank.Name, bank.PE)
+		}
+		if bank.SizeBytes <= 0 {
+			return fmt.Errorf("rc %s: bank %s has non-positive size", b.Name, bank.Name)
+		}
+	}
+	for _, l := range b.Links {
+		if l.A < 0 || l.A >= len(b.PEs) || l.B < 0 || l.B >= len(b.PEs) || l.A == l.B {
+			return fmt.Errorf("rc %s: invalid link %d-%d", b.Name, l.A, l.B)
+		}
+		if l.Pins <= 0 {
+			return fmt.Errorf("rc %s: link %d-%d has no pins", b.Name, l.A, l.B)
+		}
+	}
+	return nil
+}
+
+// LinkBetween returns the direct link between two PEs, if any.
+func (b *Board) LinkBetween(a, c int) (Link, bool) {
+	for _, l := range b.Links {
+		if (l.A == a && l.B == c) || (l.A == c && l.B == a) {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// BanksOnPE returns indices into Banks for banks local to the PE.
+func (b *Board) BanksOnPE(pe int) []int {
+	var out []int
+	for i, bank := range b.Banks {
+		if bank.PE == pe {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TotalCLBs sums PE logic capacity.
+func (b *Board) TotalCLBs() int {
+	sum := 0
+	for _, pe := range b.PEs {
+		sum += pe.Device.CLBs
+	}
+	return sum
+}
+
+// TotalBankBytes sums memory capacity.
+func (b *Board) TotalBankBytes() int {
+	sum := 0
+	for _, bank := range b.Banks {
+		sum += bank.SizeBytes
+	}
+	return sum
+}

@@ -1,0 +1,107 @@
+package rc
+
+import (
+	"testing"
+
+	"sparcs/internal/xc4000"
+)
+
+func TestWildforceShape(t *testing.T) {
+	b := Wildforce()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.PEs) != 4 {
+		t.Fatalf("PEs = %d, want 4", len(b.PEs))
+	}
+	for _, pe := range b.PEs {
+		if pe.Device.Name != "XC4013E" {
+			t.Fatalf("device = %s, want XC4013E", pe.Device.Name)
+		}
+	}
+	if len(b.Banks) != 4 {
+		t.Fatalf("banks = %d, want 4", len(b.Banks))
+	}
+	for _, bank := range b.Banks {
+		if bank.SizeBytes != 32*1024 {
+			t.Fatalf("bank size = %d, want 32KB", bank.SizeBytes)
+		}
+	}
+	if len(b.Links) != 3 {
+		t.Fatalf("links = %d, want 3 neighbor links", len(b.Links))
+	}
+	for _, l := range b.Links {
+		if l.Pins != 36 {
+			t.Fatalf("link pins = %d, want 36", l.Pins)
+		}
+	}
+	if b.XbarPins != 36 {
+		t.Fatalf("crossbar pins = %d, want 36", b.XbarPins)
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	b := Wildforce()
+	if _, ok := b.LinkBetween(0, 1); !ok {
+		t.Error("PE1-PE2 should be linked")
+	}
+	if _, ok := b.LinkBetween(1, 0); !ok {
+		t.Error("links are bidirectional")
+	}
+	if _, ok := b.LinkBetween(0, 3); ok {
+		t.Error("PE1-PE4 are not neighbors on the Wildforce")
+	}
+}
+
+func TestBanksOnPE(t *testing.T) {
+	b := Wildforce()
+	for pe := 0; pe < 4; pe++ {
+		banks := b.BanksOnPE(pe)
+		if len(banks) != 1 {
+			t.Fatalf("PE %d has %d banks, want 1", pe, len(banks))
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	b := Wildforce()
+	if got := b.TotalCLBs(); got != 4*576 {
+		t.Fatalf("TotalCLBs = %d", got)
+	}
+	if got := b.TotalBankBytes(); got != 4*32*1024 {
+		t.Fatalf("TotalBankBytes = %d", got)
+	}
+}
+
+func TestGenericBoard(t *testing.T) {
+	b := Generic(6, xc4000.XC4010E, 16*1024, 20, 40)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.PEs) != 6 || len(b.Banks) != 6 || len(b.Links) != 5 {
+		t.Fatalf("generic board shape: %d PEs %d banks %d links", len(b.PEs), len(b.Banks), len(b.Links))
+	}
+}
+
+func TestValidateCatchesBadBank(t *testing.T) {
+	b := Wildforce()
+	b.Banks[0].PE = 99
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected invalid bank PE error")
+	}
+}
+
+func TestValidateCatchesBadLink(t *testing.T) {
+	b := Wildforce()
+	b.Links[0].B = b.Links[0].A
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected self-link error")
+	}
+}
+
+func TestValidateEmptyBoard(t *testing.T) {
+	b := &Board{Name: "empty"}
+	if err := b.Validate(); err == nil {
+		t.Fatal("expected no-PE error")
+	}
+}

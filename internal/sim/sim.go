@@ -1,0 +1,447 @@
+// Package sim is the cycle-accurate multi-PE system simulator: it executes
+// behavioral task programs against simulated memory banks, shared
+// channels with receive-side registers, and arbiters, enforcing the
+// paper's access protocol and detecting every class of sharing violation
+// (simultaneous bank accesses, accesses without a grant, starvation,
+// deadlock).
+//
+// Data genuinely moves: reads and writes hit per-segment storage, sends
+// land in per-logical-channel registers, and OpTransform applies real
+// functions, so arbitration bugs surface as corrupted values in addition
+// to violation records.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sparcs/internal/arbiter"
+	"sparcs/internal/behav"
+	"sparcs/internal/partition"
+	"sparcs/internal/taskgraph"
+)
+
+// Config describes one stage's simulation.
+type Config struct {
+	Graph *taskgraph.Graph
+	// Tasks in this stage.
+	Tasks []string
+	// Programs holds each task's (already rewritten) program.
+	Programs map[string]behav.Program
+	// Arbiters lists the stage's arbiter instances.
+	Arbiters []partition.ArbiterSpec
+	// ResourceOfSegment maps segments to their bank resource name; absent
+	// segments are private (never conflict-checked).
+	ResourceOfSegment map[string]string
+	// ResourceOfChannel maps logical channels to physical channel
+	// resources ("" or absent = on-chip, conflict-free).
+	ResourceOfChannel map[string]string
+	// NewPolicy constructs the arbiter implementation for n request
+	// lines; nil uses the behavioral round-robin. Substituting
+	// arbiter.NewFSMPolicy or a netlist-backed policy simulates the
+	// actual generated hardware.
+	NewPolicy func(n int) arbiter.Policy
+	// MaxCycles bounds the run (deadlock watchdog). 0 means 10 million.
+	MaxCycles int
+	// Memory carries segment contents across stages; nil starts blank.
+	Memory *Memory
+}
+
+// Memory is the persistent segment storage shared across temporal
+// partitions (physical banks retain data over reconfiguration).
+type Memory struct {
+	segs map[string]map[int]int64
+}
+
+// NewMemory returns empty storage.
+func NewMemory() *Memory { return &Memory{segs: map[string]map[int]int64{}} }
+
+// Read returns mem[segment][addr] (0 when unwritten).
+func (m *Memory) Read(segment string, addr int) int64 {
+	if s, ok := m.segs[segment]; ok {
+		return s[addr]
+	}
+	return 0
+}
+
+// Write stores mem[segment][addr] = v.
+func (m *Memory) Write(segment string, addr int, v int64) {
+	s, ok := m.segs[segment]
+	if !ok {
+		s = map[int]int64{}
+		m.segs[segment] = s
+	}
+	s[addr] = v
+}
+
+// Snapshot returns a sorted dump of one segment for assertions.
+func (m *Memory) Snapshot(segment string) map[int]int64 {
+	out := map[int]int64{}
+	for k, v := range m.segs[segment] {
+		out[k] = v
+	}
+	return out
+}
+
+// Violation records one sharing error.
+type Violation struct {
+	Cycle    int
+	Resource string
+	Tasks    []string
+	Kind     string // "port-conflict", "no-grant", "starvation"
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s on %s by %v", v.Cycle, v.Kind, v.Resource, v.Tasks)
+}
+
+// Stats is the outcome of one stage simulation.
+type Stats struct {
+	Cycles          int
+	Done            bool
+	TaskFinish      map[string]int
+	WaitCycles      map[string]int
+	GrantsByRes     map[string]int
+	MemReads        int
+	MemWrites       int
+	ChannelSends    int
+	Violations      []Violation
+	ArbiterTraces   map[string][]arbiter.TraceStep
+	PerTaskOverhead map[string]int
+}
+
+type taskState struct {
+	name    string
+	prog    behav.Program
+	iter    int
+	pc      int
+	wait    int // remaining compute cycles
+	buf     []int64
+	done    bool
+	finish  int // cycle the task completed in (valid when done)
+	started bool
+}
+
+type chanReg struct {
+	valid bool
+	value int64
+}
+
+// Run simulates one stage to completion (or MaxCycles).
+func Run(cfg Config) (*Stats, error) {
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 10_000_000
+	}
+	mem := cfg.Memory
+	if mem == nil {
+		mem = NewMemory()
+	}
+	newPolicy := cfg.NewPolicy
+	if newPolicy == nil {
+		newPolicy = func(n int) arbiter.Policy { return arbiter.NewRoundRobin(n) }
+	}
+
+	// Arbiter instances and request-line plumbing.
+	type arbInst struct {
+		spec    partition.ArbiterSpec
+		policy  arbiter.Policy
+		index   map[string]int // task -> line
+		req     []bool
+		granted map[string]bool
+		trace   []arbiter.TraceStep
+	}
+	arbs := map[string]*arbInst{}
+	for _, spec := range cfg.Arbiters {
+		pol := newPolicy(spec.N())
+		ai := &arbInst{
+			spec:    spec,
+			policy:  pol,
+			index:   map[string]int{},
+			req:     make([]bool, spec.N()),
+			granted: map[string]bool{},
+		}
+		for i, t := range spec.Members {
+			ai.index[t] = i
+		}
+		arbs[spec.Resource] = ai
+	}
+
+	tasks := make([]*taskState, 0, len(cfg.Tasks))
+	byName := map[string]*taskState{}
+	for _, name := range cfg.Tasks {
+		prog, ok := cfg.Programs[name]
+		if !ok {
+			return nil, fmt.Errorf("sim: no program for task %s", name)
+		}
+		ts := &taskState{name: name, prog: prog}
+		tasks = append(tasks, ts)
+		byName[name] = ts
+	}
+
+	// depsDone reports whether all in-stage dependencies completed in a
+	// strictly earlier cycle — a task must not overlap its predecessor's
+	// final access.
+	depsDone := func(ts *taskState, cycle int) bool {
+		for _, d := range cfg.Graph.TaskByName(ts.name).Deps {
+			if dep, inStage := byName[d]; inStage && (!dep.done || dep.finish >= cycle) {
+				return false
+			}
+		}
+		return true
+	}
+
+	chans := map[string]*chanReg{}
+	for _, c := range cfg.Graph.Channels {
+		chans[c.Name] = &chanReg{}
+	}
+
+	stats := &Stats{
+		TaskFinish:      map[string]int{},
+		WaitCycles:      map[string]int{},
+		GrantsByRes:     map[string]int{},
+		ArbiterTraces:   map[string][]arbiter.TraceStep{},
+		PerTaskOverhead: map[string]int{},
+	}
+
+	type pendingSend struct {
+		channel string
+		value   int64
+	}
+
+	cycle := 0
+	for ; cycle < maxCycles; cycle++ {
+		allDone := true
+		for _, ts := range tasks {
+			if !ts.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			stats.Done = true
+			break
+		}
+
+		// Phase 1: arbiters sample request lines (set by earlier cycles)
+		// and issue grants for this cycle.
+		resNames := make([]string, 0, len(arbs))
+		for r := range arbs {
+			resNames = append(resNames, r)
+		}
+		sort.Strings(resNames)
+		for _, r := range resNames {
+			ai := arbs[r]
+			grants := ai.policy.Step(ai.req)
+			for t := range ai.granted {
+				delete(ai.granted, t)
+			}
+			for i, gr := range grants {
+				if gr {
+					ai.granted[ai.spec.Members[i]] = true
+					stats.GrantsByRes[r]++
+				}
+			}
+			ai.trace = append(ai.trace, arbiter.TraceStep{
+				Req:   append([]bool(nil), ai.req...),
+				Grant: append([]bool(nil), grants...),
+			})
+		}
+
+		// Phase 2: tasks execute one cycle each.
+		bankAccess := map[string][]string{} // resource -> tasks touching it this cycle
+		var sends []pendingSend
+		for _, ts := range tasks {
+			if ts.done {
+				continue
+			}
+			if !ts.started {
+				if !depsDone(ts, cycle) {
+					continue
+				}
+				ts.started = true
+			}
+			// Skip zero-time instructions (satisfied grant waits).
+			for {
+				in, ok := current(ts)
+				if !ok {
+					ts.done = true
+					ts.finish = cycle
+					stats.TaskFinish[ts.name] = cycle
+					break
+				}
+				if in.Op == behav.OpWaitGrant {
+					ai := arbs[in.Res]
+					if ai != nil && ai.granted[ts.name] {
+						advance(ts)
+						continue
+					}
+					if ai == nil {
+						// Resource not arbitrated this stage; wait is void.
+						advance(ts)
+						continue
+					}
+					stats.WaitCycles[ts.name]++
+					break // blocked this cycle
+				}
+				break
+			}
+			if ts.done {
+				continue
+			}
+			in, ok := current(ts)
+			if !ok || in.Op == behav.OpWaitGrant {
+				continue
+			}
+
+			switch in.Op {
+			case behav.OpCompute:
+				if ts.wait == 0 {
+					ts.wait = in.N
+				}
+				ts.wait--
+				if ts.wait == 0 {
+					advance(ts)
+				}
+			case behav.OpTransform:
+				if ts.wait == 0 {
+					ts.wait = in.Cycles
+					if ts.wait == 0 {
+						ts.wait = 1
+					}
+				}
+				ts.wait--
+				if ts.wait == 0 {
+					n := in.N
+					if n > len(ts.buf) {
+						n = len(ts.buf)
+					}
+					args := append([]int64(nil), ts.buf[:n]...)
+					ts.buf = append([]int64(nil), ts.buf[n:]...)
+					if in.Fn != nil {
+						ts.buf = append(ts.buf, in.Fn(args)...)
+					}
+					advance(ts)
+				}
+			case behav.OpRead, behav.OpWrite:
+				res := cfg.ResourceOfSegment[in.Res]
+				if res != "" {
+					bankAccess[res] = append(bankAccess[res], ts.name)
+					if ai := arbs[res]; ai != nil {
+						if _, isMember := ai.index[ts.name]; isMember && !ai.granted[ts.name] {
+							stats.Violations = append(stats.Violations, Violation{
+								Cycle: cycle, Resource: res, Tasks: []string{ts.name}, Kind: "no-grant",
+							})
+						}
+					}
+				}
+				if in.Op == behav.OpRead {
+					ts.buf = append(ts.buf, mem.Read(in.Res, in.EffAddr(ts.iter)))
+					stats.MemReads++
+				} else {
+					v := in.Val
+					if len(ts.buf) > 0 {
+						v = ts.buf[0]
+						ts.buf = append([]int64(nil), ts.buf[1:]...)
+					}
+					mem.Write(in.Res, in.EffAddr(ts.iter), v)
+					stats.MemWrites++
+				}
+				advance(ts)
+			case behav.OpSend:
+				res := cfg.ResourceOfChannel[in.Res]
+				if res != "" {
+					bankAccess[res] = append(bankAccess[res], ts.name)
+					if ai := arbs[res]; ai != nil {
+						if _, isMember := ai.index[ts.name]; isMember && !ai.granted[ts.name] {
+							stats.Violations = append(stats.Violations, Violation{
+								Cycle: cycle, Resource: res, Tasks: []string{ts.name}, Kind: "no-grant",
+							})
+						}
+					}
+				}
+				v := in.Val
+				if len(ts.buf) > 0 {
+					v = ts.buf[0]
+					ts.buf = append([]int64(nil), ts.buf[1:]...)
+				}
+				sends = append(sends, pendingSend{channel: in.Res, value: v})
+				stats.ChannelSends++
+				advance(ts)
+			case behav.OpRecv:
+				reg := chans[in.Res]
+				if reg == nil {
+					return nil, fmt.Errorf("sim: task %s receives on unknown channel %s", ts.name, in.Res)
+				}
+				if reg.valid {
+					ts.buf = append(ts.buf, reg.value)
+					advance(ts)
+				}
+				// Not valid yet: block (consume the cycle).
+			case behav.OpReq:
+				if ai := arbs[in.Res]; ai != nil {
+					if idx, isMember := ai.index[ts.name]; isMember {
+						ai.req[idx] = true
+					}
+				}
+				advance(ts)
+			case behav.OpRelease:
+				if ai := arbs[in.Res]; ai != nil {
+					if idx, isMember := ai.index[ts.name]; isMember {
+						ai.req[idx] = false
+					}
+				}
+				advance(ts)
+			default:
+				return nil, fmt.Errorf("sim: task %s: unsupported op %v", ts.name, in.Op)
+			}
+			if _, stillRunning := current(ts); !stillRunning {
+				ts.done = true
+				ts.finish = cycle
+				stats.TaskFinish[ts.name] = cycle
+			}
+		}
+
+		// Phase 3: port-conflict detection and channel register updates.
+		for res, users := range bankAccess {
+			if len(users) > 1 {
+				stats.Violations = append(stats.Violations, Violation{
+					Cycle: cycle, Resource: res, Tasks: users, Kind: "port-conflict",
+				})
+			}
+		}
+		for _, s := range sends {
+			reg := chans[s.channel]
+			reg.valid = true
+			reg.value = s.value
+		}
+	}
+	stats.Cycles = cycle
+	for r, ai := range arbs {
+		stats.ArbiterTraces[r] = ai.trace
+	}
+	if !stats.Done {
+		stats.Violations = append(stats.Violations, Violation{
+			Cycle: cycle, Resource: "", Kind: "deadlock-or-timeout",
+		})
+	}
+	return stats, nil
+}
+
+// current returns the instruction at the task's pc, accounting for body
+// repetition; ok=false when the program is complete.
+func current(ts *taskState) (behav.Instr, bool) {
+	if len(ts.prog.Body) == 0 || ts.iter >= ts.prog.Iterations() {
+		return behav.Instr{}, false
+	}
+	return ts.prog.Body[ts.pc], true
+}
+
+// advance moves to the next instruction, wrapping iterations.
+func advance(ts *taskState) {
+	ts.pc++
+	if ts.pc >= len(ts.prog.Body) {
+		ts.pc = 0
+		ts.iter++
+	}
+}

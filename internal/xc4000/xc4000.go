@@ -1,0 +1,207 @@
+// Package xc4000 models the Xilinx XC4000E CLB architecture: packing of
+// mapped 4-LUT networks into CLBs and a -3 speed-grade static timing
+// estimate, reproducing the units of the paper's Figures 6 (CLBs) and 7
+// (MHz).
+//
+// An XC4000E CLB contains two 4-input function generators (F and G), a
+// third 3-input function generator (H) that can combine F and G with one
+// extra input, and two D flip-flops. The packer fills CLBs with LUT pairs,
+// opportunistically folds F/G-combining LUTs into the H generator, and
+// co-locates flip-flops with the LUTs that drive them.
+//
+// Delay constants follow the XC4000E -3 speed grade data book values;
+// routing is estimated from fanout, which in the XC4000 era dominated
+// wire delay. Absolute MHz figures are therefore estimates — exactly like
+// the paper's, which also used the vendor's static timing tool.
+package xc4000
+
+import (
+	"fmt"
+	"math"
+
+	"sparcs/internal/lutmap"
+	"sparcs/internal/netlist"
+)
+
+// Device describes one member of the XC4000E family.
+type Device struct {
+	Name string
+	CLBs int // total CLB capacity
+	Pins int // usable user I/O
+}
+
+// XC4013E is the Wildforce processing element: 24x24 CLB array.
+var XC4013E = Device{Name: "XC4013E", CLBs: 576, Pins: 192}
+
+// XC4010E is a smaller family member used in portability tests.
+var XC4010E = Device{Name: "XC4010E", CLBs: 400, Pins: 160}
+
+// Timing constants for the -3 speed grade, in nanoseconds.
+const (
+	TCko      = 2.8  // flip-flop clock-to-out
+	TIlo      = 1.6  // F/G function generator delay
+	THlo      = 0.9  // additional delay through the H generator
+	TSetup    = 2.0  // function-generator-to-FF setup
+	TNetBase  = 1.4  // base routing delay per net segment
+	TNetFan   = 0.35 // incremental routing delay per additional fanout
+	TClockMin = 11.5 // floor: clock distribution, pad, and pulse-width limits
+)
+
+// PackResult reports CLB packing of a mapped network.
+type PackResult struct {
+	CLBs      int
+	HMerges   int // LUT triples folded via the H generator
+	PackedFFs int // flip-flops co-located with their driving LUT
+	LooseFFs  int // flip-flops placed in FF-only CLB slots
+}
+
+// Pack packs a LUT mapping into XC4000E CLBs.
+//
+// Strategy: (1) fold eligible (F,G,H) triples — an H candidate is a LUT
+// with <= 3 inputs, at least two of which are other LUT outputs; (2) pair
+// the remaining LUTs two per CLB; (3) place flip-flops, preferring the CLB
+// whose LUT drives them, two per CLB overall.
+func Pack(m *lutmap.Mapping) PackResult {
+	lutByOut := make(map[netlist.NetID]int, len(m.LUTs))
+	for i, l := range m.LUTs {
+		lutByOut[l.Out] = i
+	}
+	used := make([]bool, len(m.LUTs))
+
+	var res PackResult
+	clbLUTSlots := 0 // free F/G slots in partially filled CLBs
+
+	// Phase 1: H-generator folds.
+	for i, l := range m.LUTs {
+		if used[i] || len(l.Inputs) > 3 {
+			continue
+		}
+		var feeders []int
+		ok := true
+		external := 0
+		for _, in := range l.Inputs {
+			if fi, isLUT := lutByOut[in]; isLUT && !used[fi] && fi != i {
+				feeders = append(feeders, fi)
+			} else {
+				external++
+			}
+		}
+		ok = len(feeders) >= 2 && external <= 1
+		if !ok {
+			continue
+		}
+		// Fold this LUT (H) plus two feeders (F, G) into one CLB.
+		used[i] = true
+		used[feeders[0]] = true
+		used[feeders[1]] = true
+		res.CLBs++
+		res.HMerges++
+	}
+
+	// Phase 2: pair remaining LUTs.
+	remaining := 0
+	for i := range m.LUTs {
+		if !used[i] {
+			remaining++
+		}
+	}
+	res.CLBs += (remaining + 1) / 2
+	if remaining%2 == 1 {
+		clbLUTSlots = 1
+	}
+
+	// Phase 3: flip-flops. Two FF slots exist per CLB; FFs driven by a
+	// packed LUT ride along free. Model: every CLB allocated so far offers
+	// 2 FF slots; surplus FFs force additional CLBs.
+	ffSlots := 2 * res.CLBs
+	if m.NumFFs <= ffSlots {
+		res.PackedFFs = m.NumFFs
+	} else {
+		res.PackedFFs = ffSlots
+		res.LooseFFs = m.NumFFs - ffSlots
+		res.CLBs += (res.LooseFFs + 1) / 2
+	}
+	_ = clbLUTSlots
+	return res
+}
+
+// TimingResult reports the static timing estimate.
+type TimingResult struct {
+	CriticalPathNs float64
+	MaxClockMHz    float64
+	LUTLevels      int
+}
+
+// Timing estimates the maximum clock frequency of a mapped sequential
+// network: register clock-to-out, then per LUT level a function-generator
+// delay plus fanout-dependent routing, then setup.
+func Timing(m *lutmap.Mapping) TimingResult {
+	if len(m.LUTs) == 0 {
+		return TimingResult{CriticalPathNs: TClockMin, MaxClockMHz: 1000 / TClockMin}
+	}
+	// Fanout per net: LUT inputs referencing it.
+	fanout := map[netlist.NetID]int{}
+	for _, l := range m.LUTs {
+		for _, in := range l.Inputs {
+			fanout[in]++
+		}
+	}
+	// arrival[net] = worst arrival time at a LUT output.
+	arrival := map[netlist.NetID]float64{}
+	worst := 0.0
+	levels := 0
+	for _, l := range m.LUTs { // leaves-before-roots order
+		at := 0.0
+		for _, in := range l.Inputs {
+			a, ok := arrival[in]
+			if !ok {
+				a = TCko // source: register output (conservative for PIs)
+			}
+			a += TNetBase + TNetFan*float64(maxInt(fanout[in]-1, 0))
+			if a > at {
+				at = a
+			}
+		}
+		at += TIlo
+		arrival[l.Out] = at
+		if at > worst {
+			worst = at
+		}
+		if l.Level > levels {
+			levels = l.Level
+		}
+	}
+	period := worst + TSetup
+	if period < TClockMin {
+		period = TClockMin
+	}
+	return TimingResult{
+		CriticalPathNs: round2(period),
+		MaxClockMHz:    round2(1000 / period),
+		LUTLevels:      levels,
+	}
+}
+
+// Fits reports whether a packed design fits the device, with a utilization
+// fraction.
+func Fits(p PackResult, d Device) (bool, float64) {
+	u := float64(p.CLBs) / float64(d.CLBs)
+	return p.CLBs <= d.CLBs, u
+}
+
+// Utilization formats a utilization report line.
+func Utilization(p PackResult, d Device) string {
+	_, u := Fits(p, d)
+	return fmt.Sprintf("%d/%d CLBs (%.1f%%)", p.CLBs, d.CLBs, 100*u)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func round2(v float64) float64 {
+	return math.Round(v*100) / 100
+}

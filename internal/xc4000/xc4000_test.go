@@ -1,0 +1,179 @@
+package xc4000
+
+import (
+	"testing"
+
+	"sparcs/internal/lutmap"
+	"sparcs/internal/netlist"
+)
+
+// mapOf builds and maps a small netlist for packing tests.
+func mapOf(t *testing.T, build func(n *netlist.Netlist)) *lutmap.Mapping {
+	t.Helper()
+	n := netlist.New()
+	build(n)
+	m, err := lutmap.Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPackSingleLUT(t *testing.T) {
+	m := mapOf(t, func(n *netlist.Netlist) {
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		n.AddOutput("y", n.AddGate(netlist.And, a, b))
+	})
+	p := Pack(m)
+	if p.CLBs != 1 {
+		t.Fatalf("CLBs = %d, want 1", p.CLBs)
+	}
+}
+
+func TestPackPairsTwoLUTsPerCLB(t *testing.T) {
+	m := mapOf(t, func(n *netlist.Netlist) {
+		for o := 0; o < 4; o++ {
+			a := n.AddInput("a")
+			b := n.AddInput("b")
+			c := n.AddInput("c")
+			d := n.AddInput("d")
+			n.AddOutput("y", n.AddGate(netlist.Xor, a, b, c, d))
+		}
+	})
+	if m.NumLUTs() != 4 {
+		t.Fatalf("LUTs = %d, want 4 independent", m.NumLUTs())
+	}
+	p := Pack(m)
+	if p.CLBs != 2 {
+		t.Fatalf("CLBs = %d, want 2 (two 4-LUTs per CLB)", p.CLBs)
+	}
+}
+
+func TestPackHMerge(t *testing.T) {
+	// y = (a&b&c&d) OR (e&f&g&h): two 4-LUTs combined by a 2-input LUT —
+	// the classic F/G/H fold, one CLB total.
+	m := mapOf(t, func(n *netlist.Netlist) {
+		mk := func() netlist.NetID {
+			ins := make([]netlist.NetID, 4)
+			for i := range ins {
+				ins[i] = n.AddInput("i")
+			}
+			return n.AddGate(netlist.And, ins...)
+		}
+		n.AddOutput("y", n.AddGate(netlist.Or, mk(), mk()))
+	})
+	p := Pack(m)
+	if p.HMerges != 1 {
+		t.Fatalf("HMerges = %d, want 1", p.HMerges)
+	}
+	if p.CLBs != 1 {
+		t.Fatalf("CLBs = %d, want 1 via H fold", p.CLBs)
+	}
+}
+
+func TestPackFFsRideAlong(t *testing.T) {
+	// Two LUTs + two FFs fit one CLB.
+	m := mapOf(t, func(n *netlist.Netlist) {
+		for i := 0; i < 2; i++ {
+			a := n.AddInput("a")
+			b := n.AddInput("b")
+			y := n.AddGate(netlist.And, a, b)
+			q := n.AddDFF(y, false, "q")
+			n.AddOutput("q", q)
+		}
+	})
+	p := Pack(m)
+	if p.CLBs != 1 || p.LooseFFs != 0 {
+		t.Fatalf("pack = %+v, want 1 CLB and no loose FFs", p)
+	}
+}
+
+func TestPackLooseFFsForceCLBs(t *testing.T) {
+	// Pure shift register: 6 FFs, no LUTs -> 3 CLBs of flip-flops.
+	n := netlist.New()
+	d := n.AddInput("d")
+	cur := d
+	for i := 0; i < 6; i++ {
+		cur = n.AddDFF(cur, false, "q")
+	}
+	n.AddOutput("q", cur)
+	m, err := lutmap.Map(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(m)
+	if p.CLBs != 3 {
+		t.Fatalf("CLBs = %d, want 3 for 6 FFs", p.CLBs)
+	}
+}
+
+func TestTimingMonotoneInDepth(t *testing.T) {
+	shallow := mapOf(t, func(n *netlist.Netlist) {
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		n.AddOutput("y", n.AddGate(netlist.And, a, b))
+	})
+	deep := mapOf(t, func(n *netlist.Netlist) {
+		ins := make([]netlist.NetID, 100)
+		for i := range ins {
+			ins[i] = n.AddInput("i")
+		}
+		n.AddOutput("y", n.AddGate(netlist.Xor, ins...))
+	})
+	ts, td := Timing(shallow), Timing(deep)
+	if ts.MaxClockMHz <= td.MaxClockMHz {
+		t.Fatalf("shallow %.1f MHz should beat deep %.1f MHz", ts.MaxClockMHz, td.MaxClockMHz)
+	}
+	if td.LUTLevels <= ts.LUTLevels {
+		t.Fatalf("deep levels %d should exceed shallow %d", td.LUTLevels, ts.LUTLevels)
+	}
+}
+
+func TestTimingEmptyMapping(t *testing.T) {
+	tr := Timing(&lutmap.Mapping{})
+	if tr.MaxClockMHz != 1000/TClockMin {
+		t.Fatalf("empty mapping MHz = %v", tr.MaxClockMHz)
+	}
+}
+
+func TestTimingFanoutPenalty(t *testing.T) {
+	// One driver feeding many LUTs is slower than feeding one.
+	lowFan := mapOf(t, func(n *netlist.Netlist) {
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		x := n.AddGate(netlist.And, a, b)
+		n.AddOutput("y", n.AddGate(netlist.Or, x, a))
+	})
+	highFan := mapOf(t, func(n *netlist.Netlist) {
+		a := n.AddInput("a")
+		b := n.AddInput("b")
+		x := n.AddGate(netlist.And, a, b)
+		for i := 0; i < 40; i++ {
+			c := n.AddInput("c")
+			n.AddOutput("y", n.AddGate(netlist.Or, x, c))
+		}
+	})
+	if Timing(lowFan).MaxClockMHz <= Timing(highFan).MaxClockMHz {
+		t.Fatal("high-fanout design should be slower")
+	}
+}
+
+func TestFitsDevice(t *testing.T) {
+	p := PackResult{CLBs: 100}
+	ok, u := Fits(p, XC4013E)
+	if !ok || u <= 0 || u >= 1 {
+		t.Fatalf("Fits = %v, %v", ok, u)
+	}
+	p = PackResult{CLBs: 1000}
+	if ok, _ := Fits(p, XC4013E); ok {
+		t.Fatal("1000 CLBs should not fit XC4013E")
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	s := Utilization(PackResult{CLBs: 288}, XC4013E)
+	if s != "288/576 CLBs (50.0%)" {
+		t.Fatalf("Utilization = %q", s)
+	}
+}

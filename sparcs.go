@@ -1,0 +1,152 @@
+// Package sparcs reproduces "Efficient Resource Arbitration in
+// Reconfigurable Computing Environments" (Ouaiss & Vemuri, DATE 2000) as a
+// production-quality Go library.
+//
+// The package is a thin, documented facade over the implementation
+// packages in internal/:
+//
+//   - Round-robin arbiters (Figure 5): behavioral models, synthesizable
+//     FSMs, VHDL generation, fairness checkers (internal/arbiter).
+//   - A from-scratch synthesis pipeline — two-level minimization,
+//     algebraic factoring, 4-LUT mapping, XC4000E CLB packing, and -3
+//     speed-grade timing — modeling the paper's two synthesis tools
+//     (internal/logic, fsm, netlist, lutmap, xc4000, synth).
+//   - The SPARCS-like system flow: temporal/spatial partitioning,
+//     arbitration-aware memory mapping, channel merging, automatic
+//     arbiter insertion with the Figure 8 access protocol, and a
+//     cycle-accurate multi-FPGA simulator (internal/partition,
+//     arbinsert, sim, core).
+//   - The Section 5 case study: the 4x4 2-D FFT on the Annapolis
+//     Wildforce board (internal/fft, rc).
+//
+// See the runnable programs under examples/ and the benchmark harness in
+// bench_test.go, which regenerates every figure and table of the paper's
+// evaluation (documented in EXPERIMENTS.md).
+package sparcs
+
+import (
+	"sparcs/internal/arbiter"
+	"sparcs/internal/behav"
+	"sparcs/internal/core"
+	"sparcs/internal/fft"
+	"sparcs/internal/fsm"
+	"sparcs/internal/partition"
+	"sparcs/internal/rc"
+	"sparcs/internal/sim"
+	"sparcs/internal/synth"
+	"sparcs/internal/taskgraph"
+)
+
+// NewArbiter returns the behavioral N-input round-robin arbiter
+// (Figure 5 semantics): call Step with the request vector each cycle and
+// receive the grant vector.
+func NewArbiter(n int) (*arbiter.RoundRobin, error) {
+	if n < arbiter.MinN || n > arbiter.MaxN {
+		return nil, errRange(n)
+	}
+	return arbiter.NewRoundRobin(n), nil
+}
+
+func errRange(n int) error {
+	_, err := arbiter.Machine(n) // reuse its error text
+	return err
+}
+
+// NewPolicy constructs an arbitration policy by name: "round-robin",
+// "fifo", "priority", or "random".
+func NewPolicy(name string, n int) (arbiter.Policy, error) {
+	return arbiter.NewPolicy(name, n)
+}
+
+// ArbiterVHDL renders the N-input round-robin arbiter as synthesizable
+// VHDL, mirroring the paper's arbiter generator. Encoding is "one-hot",
+// "compact", or "gray".
+func ArbiterVHDL(n int, encoding string) (string, error) {
+	enc, err := fsm.ParseEncoding(encoding)
+	if err != nil {
+		return "", err
+	}
+	return arbiter.VHDL(n, enc, true)
+}
+
+// CharacterizeArbiter synthesizes the N-input arbiter with the named tool
+// model ("synplify" or "fpga-express") and encoding, returning area (CLBs)
+// and maximum clock (MHz) in the paper's units.
+func CharacterizeArbiter(n int, tool, encoding string) (synth.Result, error) {
+	tl, err := synth.ParseTool(tool)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	enc, err := fsm.ParseEncoding(encoding)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	m, err := arbiter.Machine(n)
+	if err != nil {
+		return synth.Result{}, err
+	}
+	r, _, err := synth.Run(m, enc, tl)
+	return r, err
+}
+
+// Wildforce returns the paper's target board model.
+func Wildforce() *rc.Board { return rc.Wildforce() }
+
+// FFTCaseStudy holds the Section 5 reproduction outputs.
+type FFTCaseStudy struct {
+	Design        *core.Design
+	Result        *core.RunResult
+	Report        string
+	CyclesPerTile float64
+	HWSeconds     float64 // 512x512 image at 6 MHz
+	SWSeconds     float64 // Pentium-150 model
+	Speedup       float64
+	OutputOK      bool
+}
+
+// RunFFTCaseStudy compiles and simulates the paper's 4x4 2-D FFT on the
+// Wildforce model with the paper's three-stage temporal partitioning,
+// verifying the hardware memory image against the fixed-point reference
+// and extrapolating full-image timings.
+func RunFFTCaseStudy(tiles int) (*FFTCaseStudy, error) {
+	if tiles <= 0 {
+		tiles = 6
+	}
+	g := fft.Taskgraph()
+	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
+	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	if err != nil {
+		return nil, err
+	}
+	mem := sim.NewMemory()
+	in := fft.LoadInput(mem, tiles, 42)
+	res, err := core.Simulate(d, mem, opts)
+	if err != nil {
+		return nil, err
+	}
+	cpt := float64(res.TotalCycles) / float64(tiles)
+	cs := &FFTCaseStudy{
+		Design:        d,
+		Result:        res,
+		Report:        d.Report(),
+		CyclesPerTile: cpt,
+		HWSeconds:     fft.HardwareSeconds(cpt, 512),
+		SWSeconds:     fft.SoftwareSeconds(512),
+		OutputOK:      fft.CheckOutput(mem, in) == nil,
+	}
+	cs.Speedup = cs.SWSeconds / cs.HWSeconds
+	return cs, nil
+}
+
+// Compile runs the full SPARCS-like flow on an arbitrary taskgraph.
+func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]Program, opts core.Options) (*core.Design, error) {
+	return core.Compile(g, board, programs, opts)
+}
+
+// Simulate executes a compiled design stage by stage.
+func Simulate(d *core.Design, mem *sim.Memory, opts core.Options) (*core.RunResult, error) {
+	return core.Simulate(d, mem, opts)
+}
+
+// Program aliases the behavioral task program type used by Compile.
+type Program = behav.Program

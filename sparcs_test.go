@@ -1,0 +1,88 @@
+package sparcs_test
+
+import (
+	"strings"
+	"testing"
+
+	"sparcs"
+)
+
+func TestNewArbiterPublicAPI(t *testing.T) {
+	arb, err := sparcs.NewArbiter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := arb.Step([]bool{false, true, true})
+	if !g[1] {
+		t.Fatalf("grant = %v, want task 2 first", g)
+	}
+	if _, err := sparcs.NewArbiter(1); err == nil {
+		t.Fatal("N=1 should be rejected")
+	}
+}
+
+func TestNewPolicyPublicAPI(t *testing.T) {
+	for _, name := range []string{"round-robin", "fifo", "priority", "random"} {
+		p, err := sparcs.NewPolicy(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.N() != 4 {
+			t.Fatalf("%s: N = %d", name, p.N())
+		}
+	}
+}
+
+func TestArbiterVHDLPublicAPI(t *testing.T) {
+	text, err := sparcs.ArbiterVHDL(5, "compact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "entity rr_arbiter_5") {
+		t.Fatal("VHDL missing entity")
+	}
+	if _, err := sparcs.ArbiterVHDL(5, "johnson"); err == nil {
+		t.Fatal("bad encoding should error")
+	}
+}
+
+func TestCharacterizeArbiterPublicAPI(t *testing.T) {
+	r, err := sparcs.CharacterizeArbiter(4, "synplify", "one-hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CLBs <= 0 || r.MaxMHz <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+	if _, err := sparcs.CharacterizeArbiter(4, "xst", "one-hot"); err == nil {
+		t.Fatal("bad tool should error")
+	}
+}
+
+func TestWildforcePublicAPI(t *testing.T) {
+	b := sparcs.Wildforce()
+	if len(b.PEs) != 4 {
+		t.Fatalf("PEs = %d", len(b.PEs))
+	}
+}
+
+// TestRunFFTCaseStudyPublicAPI is the headline integration test through
+// the public facade: structure, correctness, and timing shape all at once.
+func TestRunFFTCaseStudyPublicAPI(t *testing.T) {
+	cs, err := sparcs.RunFFTCaseStudy(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.OutputOK {
+		t.Fatal("output check failed")
+	}
+	if len(cs.Design.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(cs.Design.Stages))
+	}
+	if cs.Speedup <= 1 {
+		t.Fatalf("speedup = %.2f, hardware should win", cs.Speedup)
+	}
+	if !strings.Contains(cs.Report, "Arb6") {
+		t.Fatal("report missing the 6-input arbiter")
+	}
+}
