@@ -330,6 +330,83 @@ func contentionRun(pol arbiter.Policy, n, cycles int) (worst, minG, maxG float64
 	return float64(w), float64(lo), float64(hi)
 }
 
+// BenchmarkSimFFTStage measures raw simulator cycle throughput on the
+// contended first temporal partition of the Section 5 FFT case study
+// (6-input and 2-input arbiters active). This is the hot-loop benchmark
+// tracked in BENCH_sim.json; CI smokes it with -bench=BenchmarkSim.
+func BenchmarkSimFFTStage(b *testing.B) {
+	tiles := 6
+	g := fft.Taskgraph()
+	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
+	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := d.Stages[0]
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mem := sim.NewMemory()
+		fft.LoadInput(mem, tiles, 42)
+		b.StartTimer()
+		stats, err := sim.Run(sim.Config{
+			Graph:             g,
+			Tasks:             sp.Stage.Tasks,
+			Programs:          sp.Inserted.Programs,
+			Arbiters:          sp.Inserted.Arbiters,
+			ResourceOfSegment: sp.Inserted.ResourceOfSegment,
+			ResourceOfChannel: sp.Inserted.ResourceOfChannel,
+			Memory:            mem,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stats.Violations) != 0 {
+			b.Fatalf("violations: %v", stats.Violations)
+		}
+		cycles += int64(stats.Cycles)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkSimSweep measures the parallel sweep runner: GOMAXPROCS
+// workers fanning independent full FFT simulations (all three temporal
+// partitions each), the shape of every paper-table sweep above.
+func BenchmarkSimSweep(b *testing.B) {
+	tiles := 4
+	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
+	g := fft.Taskgraph()
+	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const points = 16
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sweep := make([]core.SweepPoint, points)
+		for p := range sweep {
+			mem := sim.NewMemory()
+			fft.LoadInput(mem, tiles, int64(p))
+			sweep[p] = core.SweepPoint{Design: d, Memory: mem, Options: opts}
+		}
+		b.StartTimer()
+		results, err := core.SimulateSweep(sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if len(r.Violations()) != 0 {
+				b.Fatalf("violations: %v", r.Violations())
+			}
+			cycles += int64(r.TotalCycles)
+		}
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
 // BenchmarkAblationM sweeps the M parameter (accesses per grant,
 // Figure 8): larger M amortizes the two-cycle protocol over more accesses
 // but lengthens each hold.

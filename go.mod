@@ -1,0 +1,3 @@
+module sparcs
+
+go 1.24

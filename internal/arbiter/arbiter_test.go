@@ -349,3 +349,76 @@ func TestRoundRobinResetRestoresF1(t *testing.T) {
 		t.Fatalf("after reset task 2 beats task 3 from F1, got %v", g)
 	}
 }
+
+// TestStepIntoMatchesStep drives every policy with a deterministic
+// request pattern through both the allocating Step and the in-place
+// StepInto paths (on twin instances) and requires identical grant
+// streams — the contract the simulator's allocation-free hot loop
+// depends on.
+func TestStepIntoMatchesStep(t *testing.T) {
+	const n = 5
+	mk := func() map[string]func() Policy {
+		return map[string]func() Policy{
+			"round-robin": func() Policy { return NewRoundRobin(n) },
+			"fifo":        func() Policy { return NewFIFO(n) },
+			"priority":    func() Policy { return NewPriority(n) },
+			"random":      func() Policy { return NewRandom(n, 7) },
+			"preemptive": func() Policy {
+				p, err := NewPreemptiveRoundRobin(n, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			"fsm": func() Policy {
+				p, err := NewFSMPolicy(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+		}
+	}
+	for name, ctor := range mk() {
+		t.Run(name, func(t *testing.T) {
+			plain := ctor()
+			inPlace := ctor()
+			grant := make([]bool, n)
+			req := make([]bool, n)
+			lfsr := uint32(0xACE1)
+			for c := 0; c < 500; c++ {
+				for i := range req {
+					lfsr = lfsr*1664525 + 1013904223
+					req[i] = lfsr&0x30000 != 0 // requests ~75% of the time
+				}
+				want := plain.Step(req)
+				StepInto(inPlace, req, grant)
+				for i := range grant {
+					if grant[i] != want[i] {
+						t.Fatalf("cycle %d: StepInto %v, Step %v", c, grant, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepIntoFallback exercises the adapter path for a policy that only
+// implements Step.
+func TestStepIntoFallback(t *testing.T) {
+	p := stepOnlyPolicy{inner: NewRoundRobin(3)}
+	grant := make([]bool, 3)
+	StepInto(p, []bool{false, true, true}, grant)
+	if !grant[1] || grant[0] || grant[2] {
+		t.Fatalf("fallback grant = %v, want task 2", grant)
+	}
+}
+
+// stepOnlyPolicy hides the in-place fast path, modeling an external
+// Policy implementation.
+type stepOnlyPolicy struct{ inner *RoundRobin }
+
+func (p stepOnlyPolicy) Name() string           { return "step-only" }
+func (p stepOnlyPolicy) N() int                 { return p.inner.N() }
+func (p stepOnlyPolicy) Reset()                 { p.inner.Reset() }
+func (p stepOnlyPolicy) Step(req []bool) []bool { return p.inner.Step(req) }

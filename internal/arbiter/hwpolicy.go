@@ -43,6 +43,13 @@ func (p *FSMPolicy) Step(req []bool) []bool {
 	return out
 }
 
+// StepInto implements InPlaceStepper. The reference interpreter returns
+// the transition table's precomputed output row, so the copy is the only
+// per-cycle work.
+func (p *FSMPolicy) StepInto(req, grant []bool) {
+	copy(grant, p.Step(req))
+}
+
 // NetlistPolicy drives a synthesized gate-level arbiter netlist as the
 // Policy implementation — the strongest fidelity level: the system
 // simulation is arbitrated by the very gates the synthesis pipeline
@@ -87,4 +94,12 @@ func (p *NetlistPolicy) Step(req []bool) []bool {
 		panic(fmt.Sprintf("arbiter: netlist policy: %v", err))
 	}
 	return out
+}
+
+// StepInto implements InPlaceStepper via the gate-level simulator's
+// allocation-free StepInto.
+func (p *NetlistPolicy) StepInto(req, grant []bool) {
+	if err := p.sim.StepInto(req, grant); err != nil {
+		panic(fmt.Sprintf("arbiter: netlist policy: %v", err))
+	}
 }

@@ -22,6 +22,26 @@ type Policy interface {
 	Reset()
 }
 
+// InPlaceStepper is the optional allocation-free fast path of Policy:
+// StepInto arbitrates one cycle, writing the grant vector into the
+// caller-owned slice instead of returning an internal one. len(req) and
+// len(grant) must both equal N. All policies in this package implement
+// it; external policies may provide only Step.
+type InPlaceStepper interface {
+	StepInto(req, grant []bool)
+}
+
+// StepInto arbitrates one cycle of p into grant, using the in-place fast
+// path when p implements InPlaceStepper and otherwise adapting the plain
+// Step (one policy-internal allocation at most, never a new grant slice).
+func StepInto(p Policy, req, grant []bool) {
+	if s, ok := p.(InPlaceStepper); ok {
+		s.StepInto(req, grant)
+		return
+	}
+	copy(grant, p.Step(req))
+}
+
 // NewPolicy constructs a policy by name: "round-robin", "fifo",
 // "priority", or "random".
 func NewPolicy(name string, n int) (Policy, error) {
@@ -72,11 +92,17 @@ func (a *RoundRobin) Reset() {
 // first requester found is granted and becomes the holder. With no
 // requests, a releasing holder passes priority to its successor.
 func (a *RoundRobin) Step(req []bool) []bool {
-	if len(req) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	a.StepInto(req, a.grants)
+	return a.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (a *RoundRobin) StepInto(req, grant []bool) {
+	if len(req) != a.n || len(grant) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
 	}
-	for i := range a.grants {
-		a.grants[i] = false
+	for i := range grant {
+		grant[i] = false
 	}
 	start := a.priority
 	if a.holder >= 0 {
@@ -95,11 +121,10 @@ func (a *RoundRobin) Step(req []bool) []bool {
 			a.priority = (a.holder + 1) % a.n // Ci --zeroes--> F(i+1)
 		}
 		a.holder = -1
-		return a.grants
+		return
 	}
 	a.holder = granted
-	a.grants[granted] = true
-	return a.grants
+	grant[granted] = true
 }
 
 // State reports the symbolic FSM state the behavioral arbiter is in, for
@@ -146,8 +171,14 @@ func (a *FIFO) Reset() {
 
 // Step implements Policy.
 func (a *FIFO) Step(req []bool) []bool {
-	if len(req) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	a.StepInto(req, a.grants)
+	return a.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (a *FIFO) StepInto(req, grant []bool) {
+	if len(req) != a.n || len(grant) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
 	}
 	// Enqueue rising edges in index order (simultaneous arrivals tie-break
 	// by index, like a priority encoder feeding the queue).
@@ -163,13 +194,12 @@ func (a *FIFO) Step(req []bool) []bool {
 		a.queued[a.queue[0]] = false
 		a.queue = a.queue[1:]
 	}
-	for i := range a.grants {
-		a.grants[i] = false
+	for i := range grant {
+		grant[i] = false
 	}
 	if len(a.queue) > 0 {
-		a.grants[a.queue[0]] = true
+		grant[a.queue[0]] = true
 	}
-	return a.grants
 }
 
 // Priority grants the lowest-indexed requester, except that a holder is
@@ -197,25 +227,30 @@ func (a *Priority) Reset() { a.holder = -1 }
 
 // Step implements Policy.
 func (a *Priority) Step(req []bool) []bool {
-	if len(req) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	a.StepInto(req, a.grants)
+	return a.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (a *Priority) StepInto(req, grant []bool) {
+	if len(req) != a.n || len(grant) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
 	}
-	for i := range a.grants {
-		a.grants[i] = false
+	for i := range grant {
+		grant[i] = false
 	}
 	if a.holder >= 0 && req[a.holder] {
-		a.grants[a.holder] = true
-		return a.grants
+		grant[a.holder] = true
+		return
 	}
 	a.holder = -1
 	for t := 0; t < a.n; t++ {
 		if req[t] {
 			a.holder = t
-			a.grants[t] = true
+			grant[t] = true
 			break
 		}
 	}
-	return a.grants
 }
 
 // Random grants a pseudo-random requester (16-bit LFSR, deterministic),
@@ -252,25 +287,31 @@ func (a *Random) Reset() {
 
 // Step implements Policy.
 func (a *Random) Step(req []bool) []bool {
-	if len(req) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), a.n))
+	a.StepInto(req, a.grants)
+	return a.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (a *Random) StepInto(req, grant []bool) {
+	if len(req) != a.n || len(grant) != a.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
 	}
-	for i := range a.grants {
-		a.grants[i] = false
+	for i := range grant {
+		grant[i] = false
 	}
 	if a.holder >= 0 && req[a.holder] {
-		a.grants[a.holder] = true
-		return a.grants
+		grant[a.holder] = true
+		return
 	}
 	a.holder = -1
-	var requesters []int
+	requesters := 0
 	for t := 0; t < a.n; t++ {
 		if req[t] {
-			requesters = append(requesters, t)
+			requesters++
 		}
 	}
-	if len(requesters) == 0 {
-		return a.grants
+	if requesters == 0 {
+		return
 	}
 	// Galois LFSR x^16 + x^14 + x^13 + x^11 + 1.
 	lsb := a.lfsr & 1
@@ -278,8 +319,18 @@ func (a *Random) Step(req []bool) []bool {
 	if lsb != 0 {
 		a.lfsr ^= 0xB400
 	}
-	pick := requesters[int(a.lfsr)%len(requesters)]
+	// Pick the k-th requester by index, matching the slice-based original.
+	k := int(a.lfsr) % requesters
+	pick := -1
+	for t := 0; t < a.n; t++ {
+		if req[t] {
+			if k == 0 {
+				pick = t
+				break
+			}
+			k--
+		}
+	}
 	a.holder = pick
-	a.grants[pick] = true
-	return a.grants
+	grant[pick] = true
 }

@@ -19,6 +19,7 @@ type PreemptiveRoundRobin struct {
 	inner   *RoundRobin
 	heldFor int
 	grants  []bool
+	masked  []bool
 }
 
 // NewPreemptiveRoundRobin returns a preempting arbiter; maxHold must be
@@ -52,8 +53,14 @@ func (p *PreemptiveRoundRobin) Reset() {
 
 // Step implements Policy.
 func (p *PreemptiveRoundRobin) Step(req []bool) []bool {
-	if len(req) != p.n {
-		panic(fmt.Sprintf("arbiter: got %d requests, want %d", len(req), p.n))
+	p.StepInto(req, p.grants)
+	return p.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (p *PreemptiveRoundRobin) StepInto(req, grant []bool) {
+	if len(req) != p.n || len(grant) != p.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
 	}
 	holder := p.inner.holder
 	othersWaiting := false
@@ -66,22 +73,21 @@ func (p *PreemptiveRoundRobin) Step(req []bool) []bool {
 	if holder >= 0 && req[holder] && othersWaiting && p.heldFor >= p.maxHold {
 		// Revoke: mask the hog's request for this arbitration step so the
 		// scan passes it by; it stays eligible from the next cycle on.
-		masked := make([]bool, p.n)
-		copy(masked, req)
-		masked[holder] = false
-		out := p.inner.Step(masked)
-		p.heldFor = p.currentHold(out)
-		copy(p.grants, out)
-		return p.grants
+		if p.masked == nil {
+			p.masked = make([]bool, p.n)
+		}
+		copy(p.masked, req)
+		p.masked[holder] = false
+		p.inner.StepInto(p.masked, grant)
+		p.heldFor = p.currentHold(grant)
+		return
 	}
-	out := p.inner.Step(req)
-	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && out[holder] {
+	p.inner.StepInto(req, grant)
+	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && grant[holder] {
 		p.heldFor++
 	} else {
-		p.heldFor = p.currentHold(out)
+		p.heldFor = p.currentHold(grant)
 	}
-	copy(p.grants, out)
-	return p.grants
 }
 
 func (p *PreemptiveRoundRobin) currentHold(grants []bool) int {

@@ -29,6 +29,10 @@ type Options struct {
 	NewPolicy func(n int) arbiter.Policy
 	// MaxCyclesPerStage bounds each stage simulation.
 	MaxCyclesPerStage int
+	// DisableTraces skips per-cycle arbiter trace recording — the one
+	// part of simulation whose memory cost grows with cycle count.
+	// Sweeps that only need cycle/violation/grant statistics set this.
+	DisableTraces bool
 }
 
 // StagePlan is one compiled temporal partition.
@@ -122,6 +126,7 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 			NewPolicy:         opts.NewPolicy,
 			MaxCycles:         opts.MaxCyclesPerStage,
 			Memory:            mem,
+			DisableTraces:     opts.DisableTraces,
 		}
 		stats, err := sim.Run(cfg)
 		if err != nil {
@@ -131,6 +136,35 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 		res.TotalCycles += stats.Cycles
 	}
 	return res, nil
+}
+
+// SweepPoint is one independent simulation of a compiled design in a
+// sweep: the design, the memory image it runs over, and its options.
+// Points must not share Memory instances — each runs concurrently.
+type SweepPoint struct {
+	Design  *Design
+	Memory  *sim.Memory
+	Options Options
+}
+
+// SimulateSweep runs independent design simulations concurrently across
+// GOMAXPROCS workers, returning per-point results in input order. Within
+// a point, stages still run sequentially (memory carries across
+// reconfigurations); the parallelism is across points, which is how the
+// paper-table sweeps (policy ablations, M sweeps, tile scaling) are
+// shaped. The first error (by input order) is returned.
+func SimulateSweep(points []SweepPoint) ([]*RunResult, error) {
+	out := make([]*RunResult, len(points))
+	errs := make([]error, len(points))
+	sim.ParallelFor(len(points), func(i int) {
+		out[i], errs[i] = Simulate(points[i].Design, points[i].Memory, points[i].Options)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("core: sweep point %d: %w", i, err)
+		}
+	}
+	return out, nil
 }
 
 // Report renders a human-readable compilation summary resembling the

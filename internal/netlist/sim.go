@@ -151,11 +151,26 @@ func (s *Simulator) Conflicts() []Conflict { return s.conflicts }
 
 // Step applies the primary inputs (in declaration order), evaluates one
 // clock cycle, and returns the sampled primary outputs (in declaration
-// order). The output slice is reused across calls.
+// order). The output slice is freshly allocated each call; use StepInto
+// on hot paths.
 func (s *Simulator) Step(inputs []bool) ([]bool, error) {
+	result := make([]bool, len(s.n.Outputs()))
+	if err := s.StepInto(inputs, result); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// StepInto is Step writing the sampled outputs into the caller's slice
+// (len(out) must equal the output count), avoiding the per-cycle result
+// allocation.
+func (s *Simulator) StepInto(inputs, out []bool) error {
 	ins := s.n.Inputs()
 	if len(inputs) != len(ins) {
-		return nil, fmt.Errorf("netlist: got %d inputs, want %d", len(inputs), len(ins))
+		return fmt.Errorf("netlist: got %d inputs, want %d", len(inputs), len(ins))
+	}
+	if len(out) != len(s.n.Outputs()) {
+		return fmt.Errorf("netlist: got %d output slots, want %d", len(out), len(s.n.Outputs()))
 	}
 	// Drive sources: constants, primary inputs, DFF Q values.
 	s.val[s.n.Const(false)] = false
@@ -201,10 +216,8 @@ func (s *Simulator) Step(inputs []bool) ([]bool, error) {
 	}
 
 	// Sample outputs.
-	outs := s.n.Outputs()
-	result := make([]bool, len(outs))
-	for i, id := range outs {
-		result[i] = s.val[id]
+	for i, id := range s.n.Outputs() {
+		out[i] = s.val[id]
 	}
 
 	// Positive clock edge.
@@ -212,7 +225,7 @@ func (s *Simulator) Step(inputs []bool) ([]bool, error) {
 		s.state[i] = s.val[d.D]
 	}
 	s.cycle++
-	return result, nil
+	return nil
 }
 
 // Value returns the most recently computed value of a net and whether it

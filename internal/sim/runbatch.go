@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs fn(0..n-1) across min(GOMAXPROCS, n) workers and
+// blocks until every call returns. It is the shared fan-out primitive
+// behind RunBatch and core.SimulateSweep; fn must be safe to call
+// concurrently for distinct indices.
+func ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunBatch simulates independent stage configurations concurrently,
+// fanning them across GOMAXPROCS workers, and returns per-config Stats
+// in input order. Each config must be self-contained: configs sharing a
+// Memory (or any mutable Graph/Program state) race, so sweep builders
+// give every entry its own Memory. A nil cfg.Memory gets a private blank
+// one, as in Run.
+//
+// The first error (by input order) is returned; entries that simulated
+// cleanly before an erroring sibling still carry their Stats.
+func RunBatch(cfgs []Config) ([]*Stats, error) {
+	out := make([]*Stats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	ParallelFor(len(cfgs), func(i int) {
+		out[i], errs[i] = Run(cfgs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("sim: batch entry %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

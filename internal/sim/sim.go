@@ -9,6 +9,13 @@
 // land in per-logical-channel registers, and OpTransform applies real
 // functions, so arbitration bugs surface as corrupted values in addition
 // to violation records.
+//
+// The per-cycle path is allocation-free: programs are precompiled so
+// every resource/segment/channel name resolves to a pointer or dense
+// index once at setup, arbiters step through arbiter.StepInto into
+// reusable request/grant vectors, and memory accesses index interned
+// dense pages (see Memory). Only trace recording and violation capture
+// allocate, amortized through chunked arenas.
 package sim
 
 import (
@@ -45,42 +52,11 @@ type Config struct {
 	MaxCycles int
 	// Memory carries segment contents across stages; nil starts blank.
 	Memory *Memory
-}
-
-// Memory is the persistent segment storage shared across temporal
-// partitions (physical banks retain data over reconfiguration).
-type Memory struct {
-	segs map[string]map[int]int64
-}
-
-// NewMemory returns empty storage.
-func NewMemory() *Memory { return &Memory{segs: map[string]map[int]int64{}} }
-
-// Read returns mem[segment][addr] (0 when unwritten).
-func (m *Memory) Read(segment string, addr int) int64 {
-	if s, ok := m.segs[segment]; ok {
-		return s[addr]
-	}
-	return 0
-}
-
-// Write stores mem[segment][addr] = v.
-func (m *Memory) Write(segment string, addr int, v int64) {
-	s, ok := m.segs[segment]
-	if !ok {
-		s = map[int]int64{}
-		m.segs[segment] = s
-	}
-	s[addr] = v
-}
-
-// Snapshot returns a sorted dump of one segment for assertions.
-func (m *Memory) Snapshot(segment string) map[int]int64 {
-	out := map[int]int64{}
-	for k, v := range m.segs[segment] {
-		out[k] = v
-	}
-	return out
+	// DisableTraces skips per-cycle arbiter trace recording — the one
+	// part of Stats whose cost grows with cycle count. Sweeps that only
+	// need cycle/violation/grant statistics set this; Stats.ArbiterTraces
+	// then maps each resource to nil.
+	DisableTraces bool
 }
 
 // Violation records one sharing error.
@@ -110,20 +86,110 @@ type Stats struct {
 	PerTaskOverhead map[string]int
 }
 
+// arbInst is one arbiter instance with its reusable request/grant
+// vectors and trace arena.
+type arbInst struct {
+	res    string
+	spec   partition.ArbiterSpec
+	policy arbiter.Policy
+	index  map[string]int // task -> line (setup only)
+	req    []bool
+	grant  []bool
+	grants int // flushed to Stats.GrantsByRes after the run
+	trace  []arbiter.TraceStep
+	arena  []bool // chunked backing for trace req/grant copies
+}
+
+// record appends this cycle's request/grant vectors to the trace,
+// carving the copies out of a chunked arena instead of two fresh
+// allocations per cycle.
+func (ai *arbInst) record() {
+	n := len(ai.req)
+	if len(ai.arena) < 2*n {
+		ai.arena = make([]bool, 2*n*1024)
+	}
+	rq := ai.arena[0:n:n]
+	gr := ai.arena[n : 2*n : 2*n]
+	ai.arena = ai.arena[2*n:]
+	copy(rq, ai.req)
+	copy(gr, ai.grant)
+	ai.trace = append(ai.trace, arbiter.TraceStep{Req: rq, Grant: gr})
+}
+
+// cinstr is one precompiled instruction: every map lookup the
+// interpreter would otherwise repeat per cycle — arbiter by resource
+// name, request-line index by task name, bank resource by segment,
+// channel register by channel name, memory segment by name — is
+// resolved once at setup.
+type cinstr struct {
+	op   behav.Op
+	res  string   // resolved resource name (violations) or channel name (errors)
+	ai   *arbInst // arbiter guarding the op's resource; nil = unarbitrated
+	line int      // this task's request line on ai; -1 = not a member
+	conf int      // conflict-resource index; -1 = private / conflict-free
+	seg  int      // interned memory segment ID (OpRead/OpWrite)
+	ch   *chanReg // channel register (OpSend/OpRecv); nil = unknown channel
+
+	addr   int
+	stride int
+	n      int
+	cycles int
+	val    int64
+	fn     func(in []int64) []int64
+}
+
 type taskState struct {
 	name    string
-	prog    behav.Program
+	code    []cinstr
+	iters   int          // prog.Iterations(), hoisted
+	deps    []*taskState // in-stage dependencies, resolved once
 	iter    int
 	pc      int
 	wait    int // remaining compute cycles
 	buf     []int64
+	head    int // buf[head:] is live — pops advance head instead of copying
+	scratch []int64
+	waits   int // flushed to Stats.WaitCycles after the run
 	done    bool
 	finish  int // cycle the task completed in (valid when done)
 	started bool
 }
 
+// popFront removes and returns the oldest buffered value.
+func (ts *taskState) popFront() int64 {
+	v := ts.buf[ts.head]
+	ts.head++
+	ts.compact()
+	return v
+}
+
+// compact reclaims buf's dead prefix: immediately when the buffer
+// drains, or by shifting the live tail down once the dead prefix
+// dominates — so a task that never fully drains (streaming one value of
+// slack per iteration) still runs in O(live depth) memory instead of
+// growing buf for the whole run.
+func (ts *taskState) compact() {
+	if ts.head == len(ts.buf) {
+		ts.buf = ts.buf[:0]
+		ts.head = 0
+		return
+	}
+	if ts.head >= 32 && ts.head*2 >= len(ts.buf) {
+		n := copy(ts.buf, ts.buf[ts.head:])
+		ts.buf = ts.buf[:n]
+		ts.head = 0
+	}
+}
+
+func (ts *taskState) bufLen() int { return len(ts.buf) - ts.head }
+
 type chanReg struct {
 	valid bool
+	value int64
+}
+
+type pendingSend struct {
+	ch    *chanReg
 	value int64
 }
 
@@ -142,31 +208,49 @@ func Run(cfg Config) (*Stats, error) {
 		newPolicy = func(n int) arbiter.Policy { return arbiter.NewRoundRobin(n) }
 	}
 
-	// Arbiter instances and request-line plumbing.
-	type arbInst struct {
-		spec    partition.ArbiterSpec
-		policy  arbiter.Policy
-		index   map[string]int // task -> line
-		req     []bool
-		granted map[string]bool
-		trace   []arbiter.TraceStep
-	}
+	// Arbiter instances and request-line plumbing, stepped each cycle in
+	// sorted resource order (hoisted out of the loop).
 	arbs := map[string]*arbInst{}
 	for _, spec := range cfg.Arbiters {
-		pol := newPolicy(spec.N())
 		ai := &arbInst{
-			spec:    spec,
-			policy:  pol,
-			index:   map[string]int{},
-			req:     make([]bool, spec.N()),
-			granted: map[string]bool{},
+			res:    spec.Resource,
+			spec:   spec,
+			policy: newPolicy(spec.N()),
+			index:  map[string]int{},
+			req:    make([]bool, spec.N()),
+			grant:  make([]bool, spec.N()),
 		}
 		for i, t := range spec.Members {
 			ai.index[t] = i
 		}
 		arbs[spec.Resource] = ai
 	}
+	arbList := make([]*arbInst, 0, len(arbs))
+	for _, ai := range arbs {
+		arbList = append(arbList, ai)
+	}
+	sort.Slice(arbList, func(i, j int) bool { return arbList[i].res < arbList[j].res })
 
+	chans := map[string]*chanReg{}
+	for _, c := range cfg.Graph.Channels {
+		chans[c.Name] = &chanReg{}
+	}
+
+	// Conflict resources (banks and physical channels) interned to dense
+	// indices for per-cycle multi-writer detection.
+	confIdx := map[string]int{}
+	var confNames []string
+	internConf := func(res string) int {
+		if i, ok := confIdx[res]; ok {
+			return i
+		}
+		i := len(confNames)
+		confIdx[res] = i
+		confNames = append(confNames, res)
+		return i
+	}
+
+	// Compile every task's program once.
 	tasks := make([]*taskState, 0, len(cfg.Tasks))
 	byName := map[string]*taskState{}
 	for _, name := range cfg.Tasks {
@@ -174,26 +258,63 @@ func Run(cfg Config) (*Stats, error) {
 		if !ok {
 			return nil, fmt.Errorf("sim: no program for task %s", name)
 		}
-		ts := &taskState{name: name, prog: prog}
+		ts := &taskState{name: name, iters: prog.Iterations()}
+		ts.code = make([]cinstr, len(prog.Body))
+		for i, in := range prog.Body {
+			ci := cinstr{
+				op: in.Op, res: in.Res, ai: nil, line: -1, conf: -1, seg: -1,
+				addr: in.Addr, stride: in.Stride, n: in.N, cycles: in.Cycles,
+				val: in.Val, fn: in.Fn,
+			}
+			switch in.Op {
+			case behav.OpRead, behav.OpWrite:
+				ci.seg = mem.SegID(in.Res)
+				ci.res = cfg.ResourceOfSegment[in.Res]
+				if ci.res != "" {
+					ci.conf = internConf(ci.res)
+					if ai := arbs[ci.res]; ai != nil {
+						ci.ai = ai
+						if line, isMember := ai.index[name]; isMember {
+							ci.line = line
+						}
+					}
+				}
+			case behav.OpSend:
+				ci.ch = chans[in.Res]
+				ci.res = cfg.ResourceOfChannel[in.Res]
+				if ci.res != "" {
+					ci.conf = internConf(ci.res)
+					if ai := arbs[ci.res]; ai != nil {
+						ci.ai = ai
+						if line, isMember := ai.index[name]; isMember {
+							ci.line = line
+						}
+					}
+				}
+			case behav.OpRecv:
+				ci.ch = chans[in.Res]
+			case behav.OpReq, behav.OpRelease, behav.OpWaitGrant:
+				if ai := arbs[in.Res]; ai != nil {
+					ci.ai = ai
+					if line, isMember := ai.index[name]; isMember {
+						ci.line = line
+					}
+				}
+			}
+			ts.code[i] = ci
+		}
 		tasks = append(tasks, ts)
 		byName[name] = ts
 	}
-
-	// depsDone reports whether all in-stage dependencies completed in a
-	// strictly earlier cycle — a task must not overlap its predecessor's
-	// final access.
-	depsDone := func(ts *taskState, cycle int) bool {
+	// Resolve in-stage dependencies to direct pointers: a task must not
+	// overlap its predecessor's final access, so it starts only when every
+	// in-stage dep completed in a strictly earlier cycle.
+	for _, ts := range tasks {
 		for _, d := range cfg.Graph.TaskByName(ts.name).Deps {
-			if dep, inStage := byName[d]; inStage && (!dep.done || dep.finish >= cycle) {
-				return false
+			if dep, inStage := byName[d]; inStage {
+				ts.deps = append(ts.deps, dep)
 			}
 		}
-		return true
-	}
-
-	chans := map[string]*chanReg{}
-	for _, c := range cfg.Graph.Channels {
-		chans[c.Name] = &chanReg{}
 	}
 
 	stats := &Stats{
@@ -204,100 +325,90 @@ func Run(cfg Config) (*Stats, error) {
 		PerTaskOverhead: map[string]int{},
 	}
 
-	type pendingSend struct {
-		channel string
-		value   int64
-	}
+	// Per-cycle scratch state, allocated once and reset in place.
+	confUsers := make([][]string, len(confNames))
+	var touched []int
+	var sends []pendingSend
+	remaining := len(tasks)
 
 	cycle := 0
 	for ; cycle < maxCycles; cycle++ {
-		allDone := true
-		for _, ts := range tasks {
-			if !ts.done {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		if remaining == 0 {
 			stats.Done = true
 			break
 		}
 
 		// Phase 1: arbiters sample request lines (set by earlier cycles)
 		// and issue grants for this cycle.
-		resNames := make([]string, 0, len(arbs))
-		for r := range arbs {
-			resNames = append(resNames, r)
-		}
-		sort.Strings(resNames)
-		for _, r := range resNames {
-			ai := arbs[r]
-			grants := ai.policy.Step(ai.req)
-			for t := range ai.granted {
-				delete(ai.granted, t)
-			}
-			for i, gr := range grants {
-				if gr {
-					ai.granted[ai.spec.Members[i]] = true
-					stats.GrantsByRes[r]++
+		for _, ai := range arbList {
+			arbiter.StepInto(ai.policy, ai.req, ai.grant)
+			for _, g := range ai.grant {
+				if g {
+					ai.grants++
 				}
 			}
-			ai.trace = append(ai.trace, arbiter.TraceStep{
-				Req:   append([]bool(nil), ai.req...),
-				Grant: append([]bool(nil), grants...),
-			})
+			if !cfg.DisableTraces {
+				ai.record()
+			}
 		}
 
 		// Phase 2: tasks execute one cycle each.
-		bankAccess := map[string][]string{} // resource -> tasks touching it this cycle
-		var sends []pendingSend
+		touched = touched[:0]
+		sends = sends[:0]
 		for _, ts := range tasks {
 			if ts.done {
 				continue
 			}
 			if !ts.started {
-				if !depsDone(ts, cycle) {
+				ready := true
+				for _, dep := range ts.deps {
+					if !dep.done || dep.finish >= cycle {
+						ready = false
+						break
+					}
+				}
+				if !ready {
 					continue
 				}
 				ts.started = true
 			}
 			// Skip zero-time instructions (satisfied grant waits).
 			for {
-				in, ok := current(ts)
-				if !ok {
+				if len(ts.code) == 0 || ts.iter >= ts.iters {
 					ts.done = true
 					ts.finish = cycle
 					stats.TaskFinish[ts.name] = cycle
+					remaining--
 					break
 				}
-				if in.Op == behav.OpWaitGrant {
-					ai := arbs[in.Res]
-					if ai != nil && ai.granted[ts.name] {
-						advance(ts)
-						continue
+				in := &ts.code[ts.pc]
+				if in.op == behav.OpWaitGrant {
+					if in.ai != nil {
+						if in.line >= 0 && in.ai.grant[in.line] {
+							advance(ts)
+							continue
+						}
+						ts.waits++
+						break // blocked this cycle
 					}
-					if ai == nil {
-						// Resource not arbitrated this stage; wait is void.
-						advance(ts)
-						continue
-					}
-					stats.WaitCycles[ts.name]++
-					break // blocked this cycle
+					// Resource not arbitrated this stage; wait is void.
+					advance(ts)
+					continue
 				}
 				break
 			}
 			if ts.done {
 				continue
 			}
-			in, ok := current(ts)
-			if !ok || in.Op == behav.OpWaitGrant {
+			in := &ts.code[ts.pc]
+			if in.op == behav.OpWaitGrant {
 				continue
 			}
 
-			switch in.Op {
+			switch in.op {
 			case behav.OpCompute:
 				if ts.wait == 0 {
-					ts.wait = in.N
+					ts.wait = in.n
 				}
 				ts.wait--
 				if ts.wait == 0 {
@@ -305,120 +416,127 @@ func Run(cfg Config) (*Stats, error) {
 				}
 			case behav.OpTransform:
 				if ts.wait == 0 {
-					ts.wait = in.Cycles
+					ts.wait = in.cycles
 					if ts.wait == 0 {
 						ts.wait = 1
 					}
 				}
 				ts.wait--
 				if ts.wait == 0 {
-					n := in.N
-					if n > len(ts.buf) {
-						n = len(ts.buf)
+					n := in.n
+					if n > ts.bufLen() {
+						n = ts.bufLen()
 					}
-					args := append([]int64(nil), ts.buf[:n]...)
-					ts.buf = append([]int64(nil), ts.buf[n:]...)
-					if in.Fn != nil {
-						ts.buf = append(ts.buf, in.Fn(args)...)
+					ts.scratch = append(ts.scratch[:0], ts.buf[ts.head:ts.head+n]...)
+					ts.head += n
+					ts.compact()
+					if in.fn != nil {
+						ts.buf = append(ts.buf, in.fn(ts.scratch)...)
 					}
 					advance(ts)
 				}
 			case behav.OpRead, behav.OpWrite:
-				res := cfg.ResourceOfSegment[in.Res]
-				if res != "" {
-					bankAccess[res] = append(bankAccess[res], ts.name)
-					if ai := arbs[res]; ai != nil {
-						if _, isMember := ai.index[ts.name]; isMember && !ai.granted[ts.name] {
-							stats.Violations = append(stats.Violations, Violation{
-								Cycle: cycle, Resource: res, Tasks: []string{ts.name}, Kind: "no-grant",
-							})
-						}
+				if in.conf >= 0 {
+					if len(confUsers[in.conf]) == 0 {
+						touched = append(touched, in.conf)
+					}
+					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
+					if in.ai != nil && in.line >= 0 && !in.ai.grant[in.line] {
+						stats.Violations = append(stats.Violations, Violation{
+							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
+						})
 					}
 				}
-				if in.Op == behav.OpRead {
-					ts.buf = append(ts.buf, mem.Read(in.Res, in.EffAddr(ts.iter)))
+				addr := in.addr + ts.iter*in.stride
+				if in.op == behav.OpRead {
+					ts.buf = append(ts.buf, mem.ReadID(in.seg, addr))
 					stats.MemReads++
 				} else {
-					v := in.Val
-					if len(ts.buf) > 0 {
-						v = ts.buf[0]
-						ts.buf = append([]int64(nil), ts.buf[1:]...)
+					v := in.val
+					if ts.bufLen() > 0 {
+						v = ts.popFront()
 					}
-					mem.Write(in.Res, in.EffAddr(ts.iter), v)
+					mem.WriteID(in.seg, addr, v)
 					stats.MemWrites++
 				}
 				advance(ts)
 			case behav.OpSend:
-				res := cfg.ResourceOfChannel[in.Res]
-				if res != "" {
-					bankAccess[res] = append(bankAccess[res], ts.name)
-					if ai := arbs[res]; ai != nil {
-						if _, isMember := ai.index[ts.name]; isMember && !ai.granted[ts.name] {
-							stats.Violations = append(stats.Violations, Violation{
-								Cycle: cycle, Resource: res, Tasks: []string{ts.name}, Kind: "no-grant",
-							})
-						}
+				if in.conf >= 0 {
+					if len(confUsers[in.conf]) == 0 {
+						touched = append(touched, in.conf)
+					}
+					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
+					if in.ai != nil && in.line >= 0 && !in.ai.grant[in.line] {
+						stats.Violations = append(stats.Violations, Violation{
+							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
+						})
 					}
 				}
-				v := in.Val
-				if len(ts.buf) > 0 {
-					v = ts.buf[0]
-					ts.buf = append([]int64(nil), ts.buf[1:]...)
+				v := in.val
+				if ts.bufLen() > 0 {
+					v = ts.popFront()
 				}
-				sends = append(sends, pendingSend{channel: in.Res, value: v})
+				sends = append(sends, pendingSend{ch: in.ch, value: v})
 				stats.ChannelSends++
 				advance(ts)
 			case behav.OpRecv:
-				reg := chans[in.Res]
-				if reg == nil {
-					return nil, fmt.Errorf("sim: task %s receives on unknown channel %s", ts.name, in.Res)
+				if in.ch == nil {
+					return nil, fmt.Errorf("sim: task %s receives on unknown channel %s", ts.name, in.res)
 				}
-				if reg.valid {
-					ts.buf = append(ts.buf, reg.value)
+				if in.ch.valid {
+					ts.buf = append(ts.buf, in.ch.value)
 					advance(ts)
 				}
 				// Not valid yet: block (consume the cycle).
 			case behav.OpReq:
-				if ai := arbs[in.Res]; ai != nil {
-					if idx, isMember := ai.index[ts.name]; isMember {
-						ai.req[idx] = true
-					}
+				if in.ai != nil && in.line >= 0 {
+					in.ai.req[in.line] = true
 				}
 				advance(ts)
 			case behav.OpRelease:
-				if ai := arbs[in.Res]; ai != nil {
-					if idx, isMember := ai.index[ts.name]; isMember {
-						ai.req[idx] = false
-					}
+				if in.ai != nil && in.line >= 0 {
+					in.ai.req[in.line] = false
 				}
 				advance(ts)
 			default:
-				return nil, fmt.Errorf("sim: task %s: unsupported op %v", ts.name, in.Op)
+				return nil, fmt.Errorf("sim: task %s: unsupported op %v", ts.name, in.op)
 			}
-			if _, stillRunning := current(ts); !stillRunning {
+			if ts.iter >= ts.iters {
 				ts.done = true
 				ts.finish = cycle
 				stats.TaskFinish[ts.name] = cycle
+				remaining--
 			}
 		}
 
-		// Phase 3: port-conflict detection and channel register updates.
-		for res, users := range bankAccess {
+		// Phase 3: port-conflict detection and channel register updates,
+		// in first-touch order (deterministic, unlike map iteration).
+		for _, ci := range touched {
+			users := confUsers[ci]
 			if len(users) > 1 {
 				stats.Violations = append(stats.Violations, Violation{
-					Cycle: cycle, Resource: res, Tasks: users, Kind: "port-conflict",
+					Cycle: cycle, Resource: confNames[ci],
+					Tasks: append([]string(nil), users...), Kind: "port-conflict",
 				})
 			}
+			confUsers[ci] = users[:0]
 		}
 		for _, s := range sends {
-			reg := chans[s.channel]
-			reg.valid = true
-			reg.value = s.value
+			s.ch.valid = true
+			s.ch.value = s.value
 		}
 	}
 	stats.Cycles = cycle
-	for r, ai := range arbs {
-		stats.ArbiterTraces[r] = ai.trace
+	for _, ts := range tasks {
+		if ts.waits > 0 {
+			stats.WaitCycles[ts.name] = ts.waits
+		}
+	}
+	for _, ai := range arbList {
+		stats.ArbiterTraces[ai.res] = ai.trace
+		if ai.grants > 0 {
+			stats.GrantsByRes[ai.res] = ai.grants
+		}
 	}
 	if !stats.Done {
 		stats.Violations = append(stats.Violations, Violation{
@@ -428,19 +546,10 @@ func Run(cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
-// current returns the instruction at the task's pc, accounting for body
-// repetition; ok=false when the program is complete.
-func current(ts *taskState) (behav.Instr, bool) {
-	if len(ts.prog.Body) == 0 || ts.iter >= ts.prog.Iterations() {
-		return behav.Instr{}, false
-	}
-	return ts.prog.Body[ts.pc], true
-}
-
 // advance moves to the next instruction, wrapping iterations.
 func advance(ts *taskState) {
 	ts.pc++
-	if ts.pc >= len(ts.prog.Body) {
+	if ts.pc >= len(ts.code) {
 		ts.pc = 0
 		ts.iter++
 	}

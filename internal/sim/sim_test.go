@@ -432,3 +432,57 @@ func TestMemorySnapshotAndPersistence(t *testing.T) {
 		t.Fatal("snapshot should be a copy")
 	}
 }
+
+func TestMemoryDenseAndSparse(t *testing.T) {
+	mem := NewMemory()
+	// Dense path: small addresses, including an explicit zero write that
+	// must still appear in the snapshot.
+	mem.Write("S", 0, 0)
+	mem.Write("S", 7, 70)
+	// Sparse fallbacks: negative and beyond the dense page cap.
+	mem.Write("S", -3, -30)
+	mem.Write("S", densePageCap+5, 99)
+	if got := mem.Read("S", 7); got != 70 {
+		t.Fatalf("dense read = %d", got)
+	}
+	if got := mem.Read("S", -3); got != -30 {
+		t.Fatalf("sparse read = %d", got)
+	}
+	if got := mem.Read("S", densePageCap+5); got != 99 {
+		t.Fatalf("sparse read = %d", got)
+	}
+	if got := mem.Read("S", 512); got != 0 {
+		t.Fatalf("unwritten dense read = %d, want 0", got)
+	}
+	if got := mem.Read("missing", 0); got != 0 {
+		t.Fatalf("unknown segment read = %d, want 0", got)
+	}
+	snap := mem.Snapshot("S")
+	want := map[int]int64{0: 0, 7: 70, -3: -30, densePageCap + 5: 99}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+	for a, v := range want {
+		if got, ok := snap[a]; !ok || got != v {
+			t.Fatalf("snapshot[%d] = %d,%v want %d", a, got, ok, v)
+		}
+	}
+	if got := mem.Snapshot("missing"); len(got) != 0 {
+		t.Fatalf("unknown segment snapshot = %v", got)
+	}
+}
+
+func TestMemoryIDFastPath(t *testing.T) {
+	mem := NewMemory()
+	id := mem.SegID("S")
+	if id2 := mem.SegID("S"); id2 != id {
+		t.Fatalf("interning not stable: %d vs %d", id, id2)
+	}
+	mem.WriteID(id, 3, 33)
+	if got := mem.ReadID(id, 3); got != 33 {
+		t.Fatalf("ReadID = %d", got)
+	}
+	if got := mem.Read("S", 3); got != 33 {
+		t.Fatal("string and ID views must alias the same storage")
+	}
+}

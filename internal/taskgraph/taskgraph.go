@@ -7,6 +7,7 @@ package taskgraph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // AccessKind distinguishes reads from writes for conflict analysis.
@@ -99,23 +100,22 @@ type Graph struct {
 	Segments []*Segment
 	Channels []*Channel
 
+	idxOnce sync.Once
 	taskIdx map[string]*Task
 	segIdx  map[string]*Segment
 }
 
-// TaskByName returns the named task, or nil.
+// TaskByName returns the named task, or nil. Safe for concurrent use
+// once the graph is no longer being mutated (the lazy index build is
+// guarded), which the parallel sweep runners rely on.
 func (g *Graph) TaskByName(name string) *Task {
-	if g.taskIdx == nil {
-		g.buildIndex()
-	}
+	g.idxOnce.Do(g.buildIndex)
 	return g.taskIdx[name]
 }
 
 // SegmentByName returns the named segment, or nil.
 func (g *Graph) SegmentByName(name string) *Segment {
-	if g.taskIdx == nil {
-		g.buildIndex()
-	}
+	g.idxOnce.Do(g.buildIndex)
 	return g.segIdx[name]
 }
 

@@ -148,5 +148,15 @@ func Simulate(d *core.Design, mem *sim.Memory, opts core.Options) (*core.RunResu
 	return core.Simulate(d, mem, opts)
 }
 
+// SweepPoint aliases one independent simulation in a parallel sweep.
+type SweepPoint = core.SweepPoint
+
+// SimulateSweep runs independent design simulations concurrently across
+// GOMAXPROCS workers — the fan-out behind the paper-table sweeps. Points
+// must not share Memory instances. Results come back in input order.
+func SimulateSweep(points []SweepPoint) ([]*core.RunResult, error) {
+	return core.SimulateSweep(points)
+}
+
 // Program aliases the behavioral task program type used by Compile.
 type Program = behav.Program

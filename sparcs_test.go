@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"sparcs"
+	"sparcs/internal/fft"
+	"sparcs/internal/sim"
 )
 
 func TestNewArbiterPublicAPI(t *testing.T) {
@@ -84,5 +86,103 @@ func TestRunFFTCaseStudyPublicAPI(t *testing.T) {
 	}
 	if !strings.Contains(cs.Report, "Arb6") {
 		t.Fatal("report missing the 6-input arbiter")
+	}
+}
+
+// TestNewArbiterRange sweeps both out-of-range sides of the public
+// constructor.
+func TestNewArbiterRange(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 17, 100} {
+		if _, err := sparcs.NewArbiter(n); err == nil {
+			t.Fatalf("N=%d should be rejected", n)
+		}
+	}
+	for _, n := range []int{2, 16} {
+		if _, err := sparcs.NewArbiter(n); err != nil {
+			t.Fatalf("N=%d should be accepted: %v", n, err)
+		}
+	}
+}
+
+// TestNewPolicyErrors covers unknown names and out-of-range sizes.
+func TestNewPolicyErrors(t *testing.T) {
+	if _, err := sparcs.NewPolicy("lottery", 4); err == nil {
+		t.Fatal("unknown policy name should error")
+	}
+	if _, err := sparcs.NewPolicy("round-robin", 1); err == nil {
+		t.Fatal("N=1 should be rejected")
+	}
+	if _, err := sparcs.NewPolicy("round-robin", 17); err == nil {
+		t.Fatal("N=17 should be rejected")
+	}
+}
+
+// TestArbiterVHDLErrors covers bad encodings and bad sizes.
+func TestArbiterVHDLErrors(t *testing.T) {
+	for _, enc := range []string{"johnson", "", "onehot?"} {
+		if _, err := sparcs.ArbiterVHDL(4, enc); err == nil {
+			t.Fatalf("encoding %q should be rejected", enc)
+		}
+	}
+	if _, err := sparcs.ArbiterVHDL(1, "one-hot"); err == nil {
+		t.Fatal("N=1 should be rejected")
+	}
+}
+
+// TestRunFFTCaseStudyGolden pins the case study's externally observable
+// numbers: OutputOK, zero violations, the paper's three-stage structure,
+// and the exact arbiter set — so any simulator change that perturbs
+// scheduling shows up as a diff here.
+func TestRunFFTCaseStudyGolden(t *testing.T) {
+	cs, err := sparcs.RunFFTCaseStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.OutputOK {
+		t.Fatal("hardware memory image must match the fixed-point FFT reference")
+	}
+	if v := cs.Result.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	arbs := cs.Design.Arbiters()
+	want := []string{"0:M1:6", "0:M3:2", "1:M3:4"}
+	if len(arbs) != len(want) {
+		t.Fatalf("arbiters = %v, want %v", arbs, want)
+	}
+	for i := range want {
+		if arbs[i] != want[i] {
+			t.Fatalf("arbiters = %v, want %v", arbs, want)
+		}
+	}
+	if cs.CyclesPerTile <= 0 || cs.HWSeconds <= 0 || cs.SWSeconds <= 0 {
+		t.Fatalf("degenerate timings: %+v", cs)
+	}
+}
+
+// TestSimulateSweepPublicAPI runs a multi-point sweep of the compiled
+// FFT design through the facade and checks each point agrees with the
+// case study's own simulation.
+func TestSimulateSweepPublicAPI(t *testing.T) {
+	cs, err := sparcs.RunFFTCaseStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var points []sparcs.SweepPoint
+	for p := 0; p < 4; p++ {
+		mem := sim.NewMemory()
+		fft.LoadInput(mem, 2, 42)
+		points = append(points, sparcs.SweepPoint{Design: cs.Design, Memory: mem})
+	}
+	results, err := sparcs.SimulateSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if len(r.Violations()) != 0 {
+			t.Fatalf("point %d: violations %v", i, r.Violations())
+		}
+		if r.TotalCycles != cs.Result.TotalCycles {
+			t.Fatalf("point %d: %d cycles, case study ran %d", i, r.TotalCycles, cs.Result.TotalCycles)
+		}
 	}
 }
