@@ -30,6 +30,7 @@ import (
 	"sparcs/internal/rc"
 	"sparcs/internal/sim"
 	"sparcs/internal/synth"
+	"sparcs/internal/workload"
 )
 
 var figureSizes = []int{2, 3, 4, 5, 6, 7, 8, 9, 10}
@@ -508,4 +509,28 @@ func BenchmarkPreemption(b *testing.B) {
 			b.ReportMetric(starvedCycles, "cycles_others_starved")
 		})
 	}
+}
+
+// BenchmarkPolicyWorkload measures the contention-workload engine's
+// aggregate arbitration throughput: a 16-cell grid of cheap behavioral
+// policies under four traffic shapes at N=6 (the FFT case study's
+// contended arbiter size), fanned across GOMAXPROCS workers by
+// workload.RunGrid. The reported cycles/sec metric is total
+// arbitrated cycles across all cells divided by wall-clock time
+// (tracked in BENCH_sim.json; the acceptance floor is 10M cycles/sec).
+func BenchmarkPolicyWorkload(b *testing.B) {
+	policies := []string{"rr", "priority", "wrr:2", "hier:2"}
+	workloads := []string{"bernoulli:0.30", "hotspot:0.90", "hog", "trace"}
+	cells := len(policies) * len(workloads)
+	b.ReportAllocs()
+	ms, err := workload.RunGrid(policies, workloads, workload.GridOptions{N: 6, Cycles: max(b.N, 1), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Violation != "" {
+			b.Fatalf("%s × %s: %s", m.Policy, m.Workload, m.Violation)
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
 }

@@ -1,7 +1,8 @@
 // Command sparcs runs the integrated partitioning/synthesis/arbitration
 // flow (paper Figure 9) on a built-in design and reports the temporal
 // partitions, memory maps, inserted arbiters, and cycle-accurate
-// simulation results.
+// simulation results — or, in arbbench mode, benchmarks every
+// arbitration policy against synthetic contention workloads.
 //
 // Usage:
 //
@@ -9,12 +10,17 @@
 //	sparcs -design fft -conservative    # without dependency elision
 //	sparcs -design fft -auto            # automatic temporal partitioning
 //	sparcs -design fft -policy fifo     # swap the arbitration policy
+//	sparcs -policy preemptive:8         # parameterized policy specs
+//
+//	sparcs -mode arbbench               # full policy×workload grid
+//	sparcs -mode arbbench -n 8 -cycles 1000000 -policies rr,wrr:3 -workloads hog
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"sparcs/internal/arbinsert"
 	"sparcs/internal/arbiter"
@@ -22,51 +28,125 @@ import (
 	"sparcs/internal/fft"
 	"sparcs/internal/rc"
 	"sparcs/internal/sim"
+	"sparcs/internal/workload"
 )
 
 func main() {
+	mode := flag.String("mode", "flow", "flow (compile+simulate a design) or arbbench (policy×workload contention grid)")
 	design := flag.String("design", "fft", "built-in design: fft")
 	tiles := flag.Int("tiles", 8, "tiles to simulate per temporal partition")
 	auto := flag.Bool("auto", false, "use automatic temporal partitioning instead of the paper's 3-stage split")
 	conservative := flag.Bool("conservative", false, "disable dependency-based arbiter elision")
-	policy := flag.String("policy", "round-robin", "arbitration policy: round-robin, fifo, priority, random")
+	policy := flag.String("policy", "round-robin", "arbitration policy spec (rr, fifo, priority, random:<seed>, fsm, netlist:<encoding>, preemptive:<maxHold>, wrr:<weights>, hier:<groups>)")
 	m := flag.Int("m", 2, "accesses per grant before the request is released (Figure 8)")
+	n := flag.Int("n", 6, "arbbench: request lines per arbiter")
+	cycles := flag.Int("cycles", 200_000, "arbbench: cycles per grid cell")
+	seed := flag.Uint64("seed", 1, "arbbench: workload random seed")
+	policies := flag.String("policies", "", "arbbench: comma-separated policy specs (empty = all)")
+	workloads := flag.String("workloads", "", "arbbench: comma-separated workload specs (empty = all)")
 	flag.Parse()
 
-	if *design != "fft" {
-		log.Fatalf("unknown design %q (only fft is built in)", *design)
+	var err error
+	switch *mode {
+	case "flow":
+		err = runFlow(*design, *tiles, *auto, *conservative, *policy, *m)
+	case "arbbench":
+		err = runArbbench(*n, *cycles, *seed, splitList(*policies), splitList(*workloads))
+	default:
+		err = fmt.Errorf("unknown mode %q (flow or arbbench)", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// splitList parses a comma-separated flag; empty means "use defaults"
+// (signalled as nil).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// runArbbench prints the deterministic policy×workload grid of
+// fairness, wait, and utilization metrics.
+func runArbbench(n, cycles int, seed uint64, policies, workloads []string) error {
+	// Reject out-of-range values instead of letting the engine's
+	// zero-means-default substitution contradict the printed header.
+	if n < arbiter.MinN || n > arbiter.MaxN {
+		return fmt.Errorf("arbbench: -n must be in [%d,%d], got %d", arbiter.MinN, arbiter.MaxN, n)
+	}
+	if cycles < 1 {
+		return fmt.Errorf("arbbench: -cycles must be positive, got %d", cycles)
+	}
+	if seed == 0 {
+		return fmt.Errorf("arbbench: -seed must be nonzero")
+	}
+	cells, err := workload.RunGrid(policies, workloads, workload.GridOptions{N: n, Cycles: cycles, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== arbitration bench: N=%d, %d cycles/cell, seed %d ==\n", n, cycles, seed)
+	fmt.Print(workload.FormatTable(cells))
+	return nil
+}
+
+func runFlow(design string, tiles int, auto, conservative bool, policy string, m int) error {
+	if design != "fft" {
+		return fmt.Errorf("unknown design %q (only fft is built in)", design)
+	}
+	// Validate the policy spec up front, before any compilation starts,
+	// so a bad name is a normal error instead of a log.Fatal from
+	// library code mid-flow.
+	spec, err := arbiter.ParsePolicySpec(policy)
+	if err != nil {
+		return err
 	}
 
 	g := fft.Taskgraph()
 	board := rc.Wildforce()
 	opts := core.Options{
-		Insert: arbinsert.Options{M: *m, Conservative: *conservative},
+		Insert: arbinsert.Options{M: m, Conservative: conservative},
 	}
-	if !*auto {
+	if !auto {
 		opts.Partition.FixedStages = fft.PaperStages()
 	}
-	if *policy != "round-robin" {
-		name := *policy
-		opts.NewPolicy = func(n int) arbiter.Policy {
-			p, err := arbiter.NewPolicy(name, n)
-			if err != nil {
-				log.Fatal(err)
+
+	d, err := core.Compile(g, board, fft.Programs(tiles), opts)
+	if err != nil {
+		return err
+	}
+	// The compiled design fixes every arbiter's size; check the spec
+	// against each of them so size-dependent constraints (wrr weight
+	// counts, hier group divisibility) also fail cleanly before
+	// simulation.
+	for _, sp := range d.Stages {
+		for _, a := range sp.Inserted.Arbiters {
+			if _, err := spec.New(a.N()); err != nil {
+				return fmt.Errorf("policy %s unusable for the %d-task arbiter on %s: %w", spec, a.N(), a.Resource, err)
 			}
-			return p
 		}
 	}
-
-	d, err := core.Compile(g, board, fft.Programs(*tiles), opts)
-	if err != nil {
-		log.Fatal(err)
+	opts.NewPolicy = func(n int) arbiter.Policy {
+		p, err := spec.New(n)
+		if err != nil {
+			// Unreachable: every arbiter size was validated above.
+			panic(fmt.Sprintf("policy %s at N=%d: %v", spec, n, err))
+		}
+		return p
 	}
 	fmt.Print(d.Report())
 
 	mem := sim.NewMemory()
-	in := fft.LoadInput(mem, *tiles, 42)
+	in := fft.LoadInput(mem, tiles, 42)
 	res, err := core.Simulate(d, mem, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("== simulation ==")
 	for si, ss := range res.Stages {
@@ -85,12 +165,13 @@ func main() {
 		fmt.Println("output check: PASS (hardware memory image == fixed-point 2-D FFT)")
 	}
 
-	cpt := float64(res.TotalCycles) / float64(*tiles)
+	cpt := float64(res.TotalCycles) / float64(tiles)
 	fmt.Printf("\n== 512x512 image timing (paper: HW 4.4 s, SW 6.8 s) ==\n")
 	fmt.Printf("cycles/tile: %.1f\n", cpt)
 	fmt.Printf("hardware @ %.0f MHz: %.2f s\n", fft.ClockMHz, fft.HardwareSeconds(cpt, 512))
 	fmt.Printf("software (Pentium-150 model): %.2f s\n", fft.SoftwareSeconds(512))
 	fmt.Printf("speedup: %.2fx\n", fft.SoftwareSeconds(512)/fft.HardwareSeconds(cpt, 512))
+	return nil
 }
 
 func totalWait(m map[string]int) int {

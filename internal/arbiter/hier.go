@@ -1,0 +1,108 @@
+package arbiter
+
+import "fmt"
+
+// Hierarchical arbitrates with a two-level tree of round-robin
+// pointers, the structure high-speed parallel round-robin arbiters use
+// to shorten the priority-propagation critical path: the N tasks are
+// split into `groups` equal clusters, a top-level pointer rotates over
+// clusters and a per-cluster pointer rotates over members. Each grant
+// advances both the winning cluster's member pointer and the top-level
+// cluster pointer, so clusters take strict turns and members take
+// strict turns within their cluster.
+//
+// Like the flat round-robin it is non-preemptive (a holder keeps the
+// resource while it keeps requesting) and work conserving. For balanced
+// trees (groups divides N, enforced by the constructor) the worst-case
+// wait of a continuously requesting task is (N/groups-1) turns of its
+// own cluster plus (groups-1) foreign-cluster episodes between
+// consecutive turns — exactly the flat arbiter's N-1 grant-episode
+// bound. With groups=1 or groups=N the tree degenerates to the flat
+// round-robin and produces identical grant sequences.
+type Hierarchical struct {
+	n      int
+	groups int
+	size   int // tasks per group
+	name   string
+	holder int   // task holding the resource, or -1
+	top    int   // next group the cluster scan starts at
+	leaf   []int // per-group member offset the intra-cluster scan starts at
+	grants []bool
+}
+
+// NewHierarchical returns a tree-of-round-robins arbiter over `groups`
+// equal clusters of consecutive tasks; groups must divide n.
+func NewHierarchical(n, groups int) (*Hierarchical, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	}
+	if groups < 1 || groups > n {
+		return nil, fmt.Errorf("arbiter: hier group count must be in [1,%d], got %d", n, groups)
+	}
+	if n%groups != 0 {
+		return nil, fmt.Errorf("arbiter: hier needs a balanced tree: %d groups do not divide %d tasks", groups, n)
+	}
+	return &Hierarchical{
+		n:      n,
+		groups: groups,
+		size:   n / groups,
+		name:   fmt.Sprintf("hierarchical-%dx%d", groups, n/groups),
+		holder: -1,
+		leaf:   make([]int, groups),
+		grants: make([]bool, n),
+	}, nil
+}
+
+// Name implements Policy ("hierarchical-<groups>x<size>").
+func (p *Hierarchical) Name() string { return p.name }
+
+// N implements Policy.
+func (p *Hierarchical) N() int { return p.n }
+
+// Reset implements Policy.
+func (p *Hierarchical) Reset() {
+	p.holder = -1
+	p.top = 0
+	for g := range p.leaf {
+		p.leaf[g] = 0
+	}
+}
+
+// Step implements Policy.
+func (p *Hierarchical) Step(req []bool) []bool {
+	p.StepInto(req, p.grants)
+	return p.grants
+}
+
+// StepInto implements InPlaceStepper: grant a still-requesting holder,
+// otherwise scan clusters cyclically from the top pointer and members
+// cyclically from the winning cluster's leaf pointer, advancing both
+// pointers past the grantee.
+func (p *Hierarchical) StepInto(req, grant []bool) {
+	if len(req) != p.n || len(grant) != p.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
+	}
+	for i := range grant {
+		grant[i] = false
+	}
+	if p.holder >= 0 && req[p.holder] {
+		grant[p.holder] = true
+		return
+	}
+	for gi := 0; gi < p.groups; gi++ {
+		g := (p.top + gi) % p.groups
+		base := g * p.size
+		for mi := 0; mi < p.size; mi++ {
+			m := (p.leaf[g] + mi) % p.size
+			t := base + m
+			if req[t] {
+				grant[t] = true
+				p.holder = t
+				p.leaf[g] = (m + 1) % p.size
+				p.top = (g + 1) % p.groups
+				return
+			}
+		}
+	}
+	p.holder = -1
+}

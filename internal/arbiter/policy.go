@@ -42,23 +42,16 @@ func StepInto(p Policy, req, grant []bool) {
 	copy(grant, p.Step(req))
 }
 
-// NewPolicy constructs a policy by name: "round-robin", "fifo",
-// "priority", or "random".
+// NewPolicy constructs a policy by name. Every implementation in the
+// package is reachable, with parameters via the "kind:param" grammar
+// documented on PolicySpec: "rr", "fifo", "priority", "random:77",
+// "fsm", "netlist:gray", "preemptive:8", "wrr:1,2,4,8", "hier:2", ...
 func NewPolicy(name string, n int) (Policy, error) {
-	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	sp, err := ParsePolicySpec(name)
+	if err != nil {
+		return nil, err
 	}
-	switch name {
-	case "round-robin", "rr":
-		return NewRoundRobin(n), nil
-	case "fifo":
-		return NewFIFO(n), nil
-	case "priority":
-		return NewPriority(n), nil
-	case "random":
-		return NewRandom(n, 1), nil
-	}
-	return nil, fmt.Errorf("arbiter: unknown policy %q", name)
+	return sp.New(n)
 }
 
 // RoundRobin is the behavioral reference for the Figure 5 FSM,
@@ -141,9 +134,16 @@ func (a *RoundRobin) State() string {
 // of its request and is served when it reaches the head. In hardware this
 // needs an N-deep queue of log2(N)-bit entries — the complexity the paper
 // cites for rejecting it.
+//
+// The queue is a head-indexed slice over a fixed 2N-capacity backing
+// array: pops advance head instead of reslicing the front away, and the
+// live tail (at most N entries, one per queued task) is shifted down
+// whenever head reaches N. Steady-state stepping therefore never
+// allocates, no matter how long the run streams.
 type FIFO struct {
 	n      int
 	queue  []int
+	head   int // queue[head:] is live
 	queued []bool
 	prev   []bool
 	grants []bool
@@ -151,7 +151,13 @@ type FIFO struct {
 
 // NewFIFO returns a FIFO arbiter with an empty queue.
 func NewFIFO(n int) *FIFO {
-	return &FIFO{n: n, queued: make([]bool, n), prev: make([]bool, n), grants: make([]bool, n)}
+	return &FIFO{
+		n:      n,
+		queue:  make([]int, 0, 2*n),
+		queued: make([]bool, n),
+		prev:   make([]bool, n),
+		grants: make([]bool, n),
+	}
 }
 
 // Name implements Policy.
@@ -160,9 +166,10 @@ func (a *FIFO) Name() string { return "fifo" }
 // N implements Policy.
 func (a *FIFO) N() int { return a.n }
 
-// Reset implements Policy.
+// Reset implements Policy, restoring the original backing array.
 func (a *FIFO) Reset() {
 	a.queue = a.queue[:0]
+	a.head = 0
 	for i := range a.queued {
 		a.queued[i] = false
 		a.prev[i] = false
@@ -190,15 +197,26 @@ func (a *FIFO) StepInto(req, grant []bool) {
 		a.prev[t] = req[t]
 	}
 	// Drop head entries that no longer request (released or withdrawn).
-	for len(a.queue) > 0 && !req[a.queue[0]] {
-		a.queued[a.queue[0]] = false
-		a.queue = a.queue[1:]
+	for a.head < len(a.queue) && !req[a.queue[a.head]] {
+		a.queued[a.queue[a.head]] = false
+		a.head++
+	}
+	// Reclaim the dead prefix: immediately when the queue drains, or by
+	// shifting the at-most-N live entries down once head reaches N — so
+	// len(queue) never exceeds the 2N backing capacity and the slice
+	// never drifts off its original array.
+	if a.head == len(a.queue) {
+		a.queue = a.queue[:0]
+		a.head = 0
+	} else if a.head >= a.n {
+		a.queue = a.queue[:copy(a.queue, a.queue[a.head:])]
+		a.head = 0
 	}
 	for i := range grant {
 		grant[i] = false
 	}
-	if len(a.queue) > 0 {
-		grant[a.queue[0]] = true
+	if a.head < len(a.queue) {
+		grant[a.queue[a.head]] = true
 	}
 }
 

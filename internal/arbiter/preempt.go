@@ -79,22 +79,13 @@ func (p *PreemptiveRoundRobin) StepInto(req, grant []bool) {
 		copy(p.masked, req)
 		p.masked[holder] = false
 		p.inner.StepInto(p.masked, grant)
-		p.heldFor = p.currentHold(grant)
+		p.heldFor = currentHold(grant)
 		return
 	}
 	p.inner.StepInto(req, grant)
 	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && grant[holder] {
 		p.heldFor++
 	} else {
-		p.heldFor = p.currentHold(grant)
+		p.heldFor = currentHold(grant)
 	}
-}
-
-func (p *PreemptiveRoundRobin) currentHold(grants []bool) int {
-	for _, g := range grants {
-		if g {
-			return 1
-		}
-	}
-	return 0
 }

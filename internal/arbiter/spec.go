@@ -1,0 +1,199 @@
+package arbiter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparcs/internal/fsm"
+)
+
+// PolicySpec is a parsed policy name with its parameters. The textual
+// grammar is "kind" or "kind:param":
+//
+//	round-robin | rr          behavioral round-robin (Figure 5 semantics)
+//	fifo                      arrival-order queue
+//	priority                  static priority (task 1 highest)
+//	random[:seed]             LFSR-random; seed in [1,65535], default 1
+//	fsm                       the symbolic Figure 5 machine, interpreted
+//	netlist[:encoding]        the synthesized gate-level arbiter
+//	                          (one-hot, compact, gray; default one-hot)
+//	preemptive[:maxHold]      round-robin revoking a hog after maxHold
+//	                          cycles (default 4) while others wait
+//	wrr[:w | :w1,w2,...,wN]   weighted round-robin; uniform weight w or
+//	                          one weight per task (default weight 1)
+//	hier[:groups] | tree      hierarchical tree-of-round-robins over
+//	                          `groups` equal clusters (default 2)
+//
+// A PolicySpec is parsed once (so name errors surface before any
+// compilation or simulation starts) and instantiated per arbiter size
+// with New.
+type PolicySpec struct {
+	// Kind is the canonical policy kind: "round-robin", "fifo",
+	// "priority", "random", "fsm", "netlist", "preemptive", "wrr", or
+	// "hier".
+	Kind string
+	// Seed is the LFSR seed for "random".
+	Seed uint16
+	// MaxHold is the revocation threshold for "preemptive".
+	MaxHold int
+	// Weight is the uniform service quantum for "wrr" when Weights is
+	// nil.
+	Weight int
+	// Weights are per-task service quanta for "wrr"; len must equal the
+	// arbiter size at New time.
+	Weights []int
+	// Groups is the cluster count for "hier"; it must divide the arbiter
+	// size at New time.
+	Groups int
+	// Encoding selects the synthesis state encoding for "netlist".
+	Encoding fsm.Encoding
+}
+
+// ParsePolicySpec parses a policy name of the grammar documented on
+// PolicySpec. Parameters are validated here; size-dependent constraints
+// (per-task weight counts, group divisibility) are checked by New.
+func ParsePolicySpec(s string) (*PolicySpec, error) {
+	kind, param := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind, param = s[:i], s[i+1:]
+	}
+	noParam := func(canonical string) (*PolicySpec, error) {
+		if param != "" {
+			return nil, fmt.Errorf("arbiter: policy %q takes no parameter (got %q)", canonical, param)
+		}
+		return &PolicySpec{Kind: canonical}, nil
+	}
+	switch kind {
+	case "round-robin", "rr":
+		return noParam("round-robin")
+	case "fifo":
+		return noParam("fifo")
+	case "priority":
+		return noParam("priority")
+	case "fsm":
+		return noParam("fsm")
+	case "random":
+		seed := uint16(1)
+		if param != "" {
+			v, err := strconv.ParseUint(param, 10, 16)
+			if err != nil || v == 0 {
+				return nil, fmt.Errorf("arbiter: random seed must be in [1,65535], got %q", param)
+			}
+			seed = uint16(v)
+		}
+		return &PolicySpec{Kind: "random", Seed: seed}, nil
+	case "netlist":
+		enc := fsm.OneHot
+		if param != "" {
+			e, err := fsm.ParseEncoding(param)
+			if err != nil {
+				return nil, fmt.Errorf("arbiter: netlist policy: %w", err)
+			}
+			enc = e
+		}
+		return &PolicySpec{Kind: "netlist", Encoding: enc}, nil
+	case "preemptive":
+		maxHold := 4
+		if param != "" {
+			v, err := strconv.Atoi(param)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("arbiter: preemptive maxHold must be a positive integer, got %q", param)
+			}
+			maxHold = v
+		}
+		return &PolicySpec{Kind: "preemptive", MaxHold: maxHold}, nil
+	case "wrr", "weighted", "weighted-round-robin":
+		sp := &PolicySpec{Kind: "wrr", Weight: 1}
+		if param == "" {
+			return sp, nil
+		}
+		if !strings.Contains(param, ",") {
+			v, err := strconv.Atoi(param)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("arbiter: wrr weight must be a positive integer, got %q", param)
+			}
+			sp.Weight = v
+			return sp, nil
+		}
+		for _, f := range strings.Split(param, ",") {
+			v, err := strconv.Atoi(f)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("arbiter: wrr weight list must be positive integers, got %q", param)
+			}
+			sp.Weights = append(sp.Weights, v)
+		}
+		return sp, nil
+	case "hier", "tree", "hierarchical":
+		groups := 2
+		if param != "" {
+			v, err := strconv.Atoi(param)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("arbiter: hier group count must be a positive integer, got %q", param)
+			}
+			groups = v
+		}
+		return &PolicySpec{Kind: "hier", Groups: groups}, nil
+	}
+	return nil, fmt.Errorf("arbiter: unknown policy %q (see ParsePolicySpec for the grammar)", s)
+}
+
+// String renders the canonical textual form of the spec.
+func (sp *PolicySpec) String() string {
+	switch sp.Kind {
+	case "random":
+		return fmt.Sprintf("random:%d", sp.Seed)
+	case "netlist":
+		return fmt.Sprintf("netlist:%s", sp.Encoding)
+	case "preemptive":
+		return fmt.Sprintf("preemptive:%d", sp.MaxHold)
+	case "wrr":
+		if sp.Weights != nil {
+			parts := make([]string, len(sp.Weights))
+			for i, w := range sp.Weights {
+				parts[i] = strconv.Itoa(w)
+			}
+			return "wrr:" + strings.Join(parts, ",")
+		}
+		return fmt.Sprintf("wrr:%d", sp.Weight)
+	case "hier":
+		return fmt.Sprintf("hier:%d", sp.Groups)
+	}
+	return sp.Kind
+}
+
+// New instantiates the spec for an n-line arbiter, enforcing the
+// size-dependent constraints (weight counts, group divisibility).
+func (sp *PolicySpec) New(n int) (Policy, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	}
+	switch sp.Kind {
+	case "round-robin":
+		return NewRoundRobin(n), nil
+	case "fifo":
+		return NewFIFO(n), nil
+	case "priority":
+		return NewPriority(n), nil
+	case "random":
+		return NewRandom(n, sp.Seed), nil
+	case "fsm":
+		return NewFSMPolicy(n)
+	case "netlist":
+		return NewNetlistPolicy(n, sp.Encoding)
+	case "preemptive":
+		return NewPreemptiveRoundRobin(n, sp.MaxHold)
+	case "wrr":
+		weights := sp.Weights
+		if weights == nil {
+			weights = make([]int, n)
+			for i := range weights {
+				weights[i] = sp.Weight
+			}
+		}
+		return NewWeightedRoundRobin(n, weights)
+	case "hier":
+		return NewHierarchical(n, sp.Groups)
+	}
+	return nil, fmt.Errorf("arbiter: unknown policy kind %q", sp.Kind)
+}

@@ -1,0 +1,105 @@
+package arbiter
+
+import "fmt"
+
+// WeightedRoundRobin generalizes the preemptive round-robin with
+// per-task service quanta: a holder keeps the resource while it keeps
+// requesting, but once it has held for weights[holder] consecutive
+// granted cycles while another task waits, its grant is revoked and the
+// cyclic scan resumes at the next task. Under saturation every task's
+// long-run grant share is proportional to its weight, while the
+// round-robin scan order preserves the N-1 grant-episode wait bound
+// (each competitor is served at most one episode per rotation). With no
+// competing requests the holder keeps the resource indefinitely, so
+// work conservation is preserved.
+type WeightedRoundRobin struct {
+	n       int
+	weights []int
+	inner   *RoundRobin
+	heldFor int
+	grants  []bool
+	masked  []bool
+}
+
+// NewWeightedRoundRobin returns a weighted round-robin arbiter; weights
+// must hold one positive quantum per task.
+func NewWeightedRoundRobin(n int, weights []int) (*WeightedRoundRobin, error) {
+	if n < MinN || n > MaxN {
+		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("arbiter: got %d weights for %d tasks", len(weights), n)
+	}
+	for i, w := range weights {
+		if w < 1 {
+			return nil, fmt.Errorf("arbiter: weight for task %d must be >= 1, got %d", i+1, w)
+		}
+	}
+	return &WeightedRoundRobin{
+		n:       n,
+		weights: append([]int(nil), weights...),
+		inner:   NewRoundRobin(n),
+		grants:  make([]bool, n),
+		masked:  make([]bool, n),
+	}, nil
+}
+
+// Name implements Policy.
+func (p *WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// N implements Policy.
+func (p *WeightedRoundRobin) N() int { return p.n }
+
+// Reset implements Policy.
+func (p *WeightedRoundRobin) Reset() {
+	p.inner.Reset()
+	p.heldFor = 0
+}
+
+// Step implements Policy.
+func (p *WeightedRoundRobin) Step(req []bool) []bool {
+	p.StepInto(req, p.grants)
+	return p.grants
+}
+
+// StepInto implements InPlaceStepper with the same semantics as Step.
+func (p *WeightedRoundRobin) StepInto(req, grant []bool) {
+	if len(req) != p.n || len(grant) != p.n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
+	}
+	holder := p.inner.holder
+	othersWaiting := false
+	for t, r := range req {
+		if r && t != holder {
+			othersWaiting = true
+			break
+		}
+	}
+	if holder >= 0 && req[holder] && othersWaiting && p.heldFor >= p.weights[holder] {
+		// Quantum exhausted: mask the holder's request for this
+		// arbitration step so the scan passes it by; it re-enters
+		// contention from the next cycle on.
+		copy(p.masked, req)
+		p.masked[holder] = false
+		p.inner.StepInto(p.masked, grant)
+		p.heldFor = currentHold(grant)
+		return
+	}
+	p.inner.StepInto(req, grant)
+	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && grant[holder] {
+		p.heldFor++
+	} else {
+		p.heldFor = currentHold(grant)
+	}
+}
+
+// currentHold returns the hold count to restart from after a holder
+// change: 1 if some task was just granted, 0 on an idle cycle.
+func currentHold(grants []bool) int {
+	for _, g := range grants {
+		if g {
+			return 1
+		}
+	}
+	return 0
+}

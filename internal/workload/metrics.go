@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sparcs/internal/arbiter"
+)
+
+// WaitBuckets is the number of log2 wait-histogram buckets: bucket 0
+// counts zero-wait service, bucket k counts waits in [2^(k-1), 2^k),
+// and the last bucket absorbs everything longer.
+const WaitBuckets = 17
+
+// TaskMetrics aggregates one task's experience over a run.
+type TaskMetrics struct {
+	// Grants is the number of cycles the task held the resource.
+	Grants int64
+	// Services is the number of distinct grant episodes the task won
+	// (each preceded by one measured wait, possibly zero).
+	Services int64
+	// TotalWait sums the request-to-first-grant waits over all services.
+	TotalWait int64
+	// MaxWait is the longest single wait in cycles, including a wait
+	// still in progress when the run ends — a task starved for the
+	// whole run reports the full run length, not zero. (Censored waits
+	// are excluded from Services/TotalWait/WaitHist, which cover
+	// completed services only.)
+	MaxWait int
+	// WorstEpisodes is the most grant episodes to other tasks the task
+	// sat through while requesting continuously (the paper's Section
+	// 4.1 measure; round-robin bounds it at N-1).
+	WorstEpisodes int
+}
+
+// MeanWait is the task's average wait per service in cycles.
+func (t TaskMetrics) MeanWait() float64 {
+	if t.Services == 0 {
+		return 0
+	}
+	return float64(t.TotalWait) / float64(t.Services)
+}
+
+// Metrics is the outcome of driving one policy under one workload.
+type Metrics struct {
+	// Policy and Workload are the names reported by the driven pair.
+	Policy   string
+	Workload string
+	// N is the number of request lines, Cycles the run length.
+	N      int
+	Cycles int
+	// Tasks holds per-task aggregates.
+	Tasks []TaskMetrics
+	// GrantedCycles counts cycles with a grant, DemandCycles cycles
+	// with at least one request.
+	GrantedCycles int64
+	DemandCycles  int64
+	// WaitHist is the run-wide log2 histogram of service waits.
+	WaitHist [WaitBuckets]int64
+	// Violation records the first online safety-check failure (mutual
+	// exclusion, grant-implies-request, work conservation); empty for a
+	// correct arbiter.
+	Violation string
+}
+
+// Utilization is the fraction of all cycles the resource was granted.
+func (m *Metrics) Utilization() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GrantedCycles) / float64(m.Cycles)
+}
+
+// Demand is the fraction of cycles with at least one request — the
+// offered load. For a work-conserving arbiter Utilization == Demand.
+func (m *Metrics) Demand() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.DemandCycles) / float64(m.Cycles)
+}
+
+// Jain is Jain's fairness index over per-task grant counts:
+// (Σx)²/(n·Σx²), 1.0 for perfectly equal shares, 1/n when one task
+// monopolizes. An all-idle run reports 1.
+func (m *Metrics) Jain() float64 {
+	var sum, sq float64
+	for _, t := range m.Tasks {
+		x := float64(t.Grants)
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(m.Tasks)) * sq)
+}
+
+// MeanWait is the run-wide average wait per service in cycles.
+func (m *Metrics) MeanWait() float64 {
+	var wait, services int64
+	for _, t := range m.Tasks {
+		wait += t.TotalWait
+		services += t.Services
+	}
+	if services == 0 {
+		return 0
+	}
+	return float64(wait) / float64(services)
+}
+
+// MaxWait is the longest single wait any task experienced, in cycles.
+func (m *Metrics) MaxWait() int {
+	worst := 0
+	for _, t := range m.Tasks {
+		if t.MaxWait > worst {
+			worst = t.MaxWait
+		}
+	}
+	return worst
+}
+
+// WorstEpisodes is the worst per-task grant-episode wait — directly
+// comparable to the round-robin N-1 bound.
+func (m *Metrics) WorstEpisodes() int {
+	worst := 0
+	for _, t := range m.Tasks {
+		if t.WorstEpisodes > worst {
+			worst = t.WorstEpisodes
+		}
+	}
+	return worst
+}
+
+// histBucket maps a wait in cycles to its log2 histogram bucket.
+func histBucket(wait int) int {
+	b := bits.Len(uint(wait))
+	if b >= WaitBuckets {
+		b = WaitBuckets - 1
+	}
+	return b
+}
+
+// Drive runs generator g against policy p for the given number of
+// cycles and returns the aggregated metrics. The hot loop is
+// allocation-free: requests and grants live in two reusable vectors,
+// the policy steps through the InPlaceStepper fast path when it has
+// one, and every metric (wait histogram, episode counters, fairness
+// inputs, online safety checks) updates incrementally — no trace is
+// recorded, so multi-million-cycle runs cost O(N) memory.
+func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
+	n := p.N()
+	if g.N() != n {
+		return nil, fmt.Errorf("workload: generator %s has %d lines, policy %s has %d", g.Name(), g.N(), p.Name(), n)
+	}
+	if cycles < 1 {
+		return nil, fmt.Errorf("workload: cycles must be positive, got %d", cycles)
+	}
+	m := &Metrics{
+		Policy:   p.Name(),
+		Workload: g.Name(),
+		N:        n,
+		Cycles:   cycles,
+		Tasks:    make([]TaskMetrics, n),
+	}
+	stepper, fast := p.(arbiter.InPlaceStepper)
+	req := make([]bool, n)
+	grant := make([]bool, n)
+	waiting := make([]bool, n)
+	waitStart := make([]int, n)
+	episodes := make([]int, n)
+	prevHolder := -1
+
+	violate := func(cycle int, kind string) {
+		if m.Violation == "" {
+			m.Violation = fmt.Sprintf("cycle %d: %s", cycle, kind)
+		}
+	}
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		// grant still holds last cycle's decision — the closed-loop
+		// feedback the generators react to.
+		g.Next(req, grant)
+		if fast {
+			stepper.StepInto(req, grant)
+		} else {
+			arbiter.StepInto(p, req, grant)
+		}
+
+		holder, granted := -1, 0
+		anyReq := false
+		for i := 0; i < n; i++ {
+			anyReq = anyReq || req[i]
+			if grant[i] {
+				granted++
+				holder = i
+				m.Tasks[i].Grants++
+			}
+		}
+		if granted > 1 {
+			violate(cycle, "mutual-exclusion")
+		}
+		if holder >= 0 && !req[holder] {
+			violate(cycle, "grant-implies-request")
+		}
+		if anyReq != (holder >= 0) {
+			violate(cycle, "work-conservation")
+		}
+		if anyReq {
+			m.DemandCycles++
+		}
+		if holder >= 0 {
+			m.GrantedCycles++
+		}
+		newEpisode := holder >= 0 && holder != prevHolder
+
+		for i := 0; i < n; i++ {
+			t := &m.Tasks[i]
+			switch {
+			case grant[i]:
+				if i != prevHolder {
+					wait := 0
+					if waiting[i] {
+						wait = cycle - waitStart[i]
+					}
+					t.Services++
+					t.TotalWait += int64(wait)
+					if wait > t.MaxWait {
+						t.MaxWait = wait
+					}
+					m.WaitHist[histBucket(wait)]++
+				}
+				waiting[i] = false
+				episodes[i] = 0
+			case req[i]:
+				if !waiting[i] {
+					waiting[i] = true
+					waitStart[i] = cycle
+					episodes[i] = 0
+				}
+				if newEpisode {
+					episodes[i]++
+					if episodes[i] > t.WorstEpisodes {
+						t.WorstEpisodes = episodes[i]
+					}
+				}
+			default:
+				waiting[i] = false
+				episodes[i] = 0
+			}
+		}
+		prevHolder = holder
+	}
+	// Flush censored waits: a task still waiting at run end (possibly
+	// starved for the entire run) reports its in-progress wait, so
+	// starvation surfaces as the worst MaxWait instead of no wait at
+	// all.
+	for i := 0; i < n; i++ {
+		if waiting[i] {
+			if w := cycles - waitStart[i]; w > m.Tasks[i].MaxWait {
+				m.Tasks[i].MaxWait = w
+			}
+		}
+	}
+	return m, nil
+}

@@ -35,6 +35,7 @@ import (
 	"sparcs/internal/sim"
 	"sparcs/internal/synth"
 	"sparcs/internal/taskgraph"
+	"sparcs/internal/workload"
 )
 
 // NewArbiter returns the behavioral N-input round-robin arbiter
@@ -52,10 +53,40 @@ func errRange(n int) error {
 	return err
 }
 
-// NewPolicy constructs an arbitration policy by name: "round-robin",
-// "fifo", "priority", or "random".
+// NewPolicy constructs an arbitration policy by name. Every policy the
+// repo implements is reachable, with parameters via the "kind:param"
+// grammar of arbiter.ParsePolicySpec: "round-robin" (alias "rr"),
+// "fifo", "priority", "random:<seed>", "fsm", "netlist:<encoding>",
+// "preemptive:<maxHold>", "wrr:<weights>", and "hier:<groups>".
 func NewPolicy(name string, n int) (arbiter.Policy, error) {
 	return arbiter.NewPolicy(name, n)
+}
+
+// PolicyMetrics aggregates the outcome of driving one arbitration
+// policy under one synthetic contention workload: per-task wait
+// statistics and histograms, Jain's fairness index, utilization, and
+// the worst grant-episode wait (comparable to round-robin's N-1 bound).
+type PolicyMetrics = workload.Metrics
+
+// EvaluateOptions parameterizes EvaluatePolicies (arbiter size, cycles
+// per cell, workload seed).
+type EvaluateOptions = workload.GridOptions
+
+// EvaluatePolicies drives every named policy under every named
+// contention workload and returns one PolicyMetrics per cell in
+// row-major order (workloads fastest), fanned across GOMAXPROCS
+// workers. Nil slices evaluate the full default grid: every policy
+// implementation against every traffic shape (uniform Bernoulli,
+// bursty, hotspot, Markov-modulated, adversarial hog, trace replay).
+// Results are deterministic for a given options Seed.
+func EvaluatePolicies(policies, workloads []string, opt EvaluateOptions) ([]*PolicyMetrics, error) {
+	return workload.RunGrid(policies, workloads, opt)
+}
+
+// FormatPolicyTable renders EvaluatePolicies results as an aligned
+// fairness/wait/utilization table.
+func FormatPolicyTable(cells []*PolicyMetrics) string {
+	return workload.FormatTable(cells)
 }
 
 // ArbiterVHDL renders the N-input round-robin arbiter as synthesizable

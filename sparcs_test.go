@@ -186,3 +186,55 @@ func TestSimulateSweepPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+func TestNewPolicyPublicAPIGrammar(t *testing.T) {
+	// The facade reaches every implementation, with parameters.
+	for _, spec := range []string{
+		"rr", "fifo", "priority", "random:9",
+		"fsm", "netlist:gray", "preemptive:8", "wrr:1,2,3,4", "hier:2",
+	} {
+		p, err := sparcs.NewPolicy(spec, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if p.N() != 4 {
+			t.Fatalf("%s: N = %d", spec, p.N())
+		}
+	}
+	if _, err := sparcs.NewPolicy("hier:3", 4); err == nil {
+		t.Fatal("hier:3 at N=4 should be rejected (unbalanced tree)")
+	}
+}
+
+func TestEvaluatePoliciesPublicAPI(t *testing.T) {
+	policies := []string{"rr", "preemptive:4"}
+	workloads := []string{"hog", "bernoulli:0.30"}
+	cells, err := sparcs.EvaluatePolicies(policies, workloads, sparcs.EvaluateOptions{N: 4, Cycles: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	for _, m := range cells {
+		if m.Violation != "" {
+			t.Errorf("%s × %s: %s", m.Policy, m.Workload, m.Violation)
+		}
+	}
+	// The hog monopolizes plain round-robin but not the preemptive
+	// arbiter — the paper's future-work claim, visible from the facade.
+	rrHog, preHog := cells[0], cells[2]
+	if rrHog.Jain() > 0.3 {
+		t.Errorf("round-robin under hog: Jain %.3f, expected monopoly", rrHog.Jain())
+	}
+	if preHog.Jain() < 0.7 {
+		t.Errorf("preemptive under hog: Jain %.3f, expected bounded hold", preHog.Jain())
+	}
+	table := sparcs.FormatPolicyTable(cells)
+	if !strings.Contains(table, "jain") || !strings.Contains(table, "round-robin") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+	if _, err := sparcs.EvaluatePolicies([]string{"lottery"}, workloads, sparcs.EvaluateOptions{}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
