@@ -14,14 +14,19 @@
 //
 //	sparcs -mode arbbench               # full policy×workload grid
 //	sparcs -mode arbbench -n 8 -cycles 1000000 -policies rr,wrr:3 -workloads hog
+//
+//	sparcs -contend M1=bursty/2         # FFT under background contention
+//	sparcs -mode arbbench -fft-column   # measured FFT traffic as a grid column
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
+	"sparcs"
 	"sparcs/internal/arbinsert"
 	"sparcs/internal/arbiter"
 	"sparcs/internal/core"
@@ -39,19 +44,31 @@ func main() {
 	conservative := flag.Bool("conservative", false, "disable dependency-based arbiter elision")
 	policy := flag.String("policy", "round-robin", "arbitration policy spec (rr, fifo, priority, random:<seed>, fsm, netlist:<encoding>, preemptive:<maxHold>, wrr:<weights>, hier:<groups>)")
 	m := flag.Int("m", 2, "accesses per grant before the request is released (Figure 8)")
+	contend := flag.String("contend", "", "flow: background contention specs, resource=workload[/lines] comma-separated (e.g. M1=bursty/2)")
+	contendSeed := flag.Uint64("contend-seed", 1, "flow: random seed for the background generators")
+	maxCycles := flag.Int("max-cycles", 0, "flow: per-stage cycle watchdog (0 = 10M, or 1M when -contend is set)")
 	n := flag.Int("n", 6, "arbbench: request lines per arbiter")
 	cycles := flag.Int("cycles", 200_000, "arbbench: cycles per grid cell")
 	seed := flag.Uint64("seed", 1, "arbbench: workload random seed")
 	policies := flag.String("policies", "", "arbbench: comma-separated policy specs (empty = all)")
 	workloads := flag.String("workloads", "", "arbbench: comma-separated workload specs (empty = all)")
+	fftColumn := flag.Bool("fft-column", false, "arbbench: capture the FFT case study's measured request stream (its -n line arbiter, under -policy) and add it as a grid column")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "flow":
-		err = runFlow(*design, *tiles, *auto, *conservative, *policy, *m)
+		err = runFlow(flowOptions{
+			design: *design, tiles: *tiles, auto: *auto, conservative: *conservative,
+			policy: *policy, m: *m,
+			contend: *contend, contendSeed: *contendSeed, maxCycles: *maxCycles,
+		})
 	case "arbbench":
-		err = runArbbench(*n, *cycles, *seed, splitList(*policies), splitList(*workloads))
+		err = runArbbench(arbbenchOptions{
+			n: *n, cycles: *cycles, seed: *seed,
+			policies: splitList(*policies), workloads: splitList(*workloads),
+			fftColumn: *fftColumn, fftTiles: *tiles, fftPolicy: *policy,
+		})
 	default:
 		err = fmt.Errorf("unknown mode %q (flow or arbbench)", *mode)
 	}
@@ -73,37 +90,77 @@ func splitList(s string) []string {
 	return parts
 }
 
+type arbbenchOptions struct {
+	n, cycles           int
+	seed                uint64
+	policies, workloads []string
+	fftColumn           bool
+	fftTiles            int
+	fftPolicy           string
+}
+
 // runArbbench prints the deterministic policy×workload grid of
-// fairness, wait, and utilization metrics.
-func runArbbench(n, cycles int, seed uint64, policies, workloads []string) error {
+// fairness, wait, and utilization metrics. With -fft-column, the FFT
+// case study's measured request stream joins the synthetic columns.
+func runArbbench(o arbbenchOptions) error {
 	// Reject out-of-range values instead of letting the engine's
 	// zero-means-default substitution contradict the printed header.
-	if n < arbiter.MinN || n > arbiter.MaxN {
-		return fmt.Errorf("arbbench: -n must be in [%d,%d], got %d", arbiter.MinN, arbiter.MaxN, n)
+	if o.n < arbiter.MinN || o.n > arbiter.MaxN {
+		return fmt.Errorf("arbbench: -n must be in [%d,%d], got %d", arbiter.MinN, arbiter.MaxN, o.n)
 	}
-	if cycles < 1 {
-		return fmt.Errorf("arbbench: -cycles must be positive, got %d", cycles)
+	if o.cycles < 1 {
+		return fmt.Errorf("arbbench: -cycles must be positive, got %d", o.cycles)
 	}
-	if seed == 0 {
+	if o.seed == 0 {
 		return fmt.Errorf("arbbench: -seed must be nonzero")
 	}
-	cells, err := workload.RunGrid(policies, workloads, workload.GridOptions{N: n, Cycles: cycles, Seed: seed})
+	specs := o.workloads
+	if specs == nil {
+		specs = workload.DefaultWorkloads()
+	}
+	cols := make([]workload.Column, len(specs))
+	for i, ws := range specs {
+		cols[i] = workload.SpecColumn(ws)
+	}
+	if o.fftColumn {
+		col, err := sparcs.FFTMeasuredColumn(o.fftTiles, o.n, o.fftPolicy)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, col)
+	}
+	cells, err := workload.RunGridColumns(o.policies, cols, workload.GridOptions{N: o.n, Cycles: o.cycles, Seed: o.seed})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("== arbitration bench: N=%d, %d cycles/cell, seed %d ==\n", n, cycles, seed)
+	fmt.Printf("== arbitration bench: N=%d, %d cycles/cell, seed %d ==\n", o.n, o.cycles, o.seed)
 	fmt.Print(workload.FormatTable(cells))
 	return nil
 }
 
-func runFlow(design string, tiles int, auto, conservative bool, policy string, m int) error {
-	if design != "fft" {
-		return fmt.Errorf("unknown design %q (only fft is built in)", design)
+type flowOptions struct {
+	design             string
+	tiles              int
+	auto, conservative bool
+	policy             string
+	m                  int
+	contend            string
+	contendSeed        uint64
+	maxCycles          int
+}
+
+func runFlow(o flowOptions) error {
+	if o.design != "fft" {
+		return fmt.Errorf("unknown design %q (only fft is built in)", o.design)
 	}
-	// Validate the policy spec up front, before any compilation starts,
-	// so a bad name is a normal error instead of a log.Fatal from
-	// library code mid-flow.
-	spec, err := arbiter.ParsePolicySpec(policy)
+	// Validate the policy and contention specs up front, before any
+	// compilation starts, so a bad name is a normal error instead of a
+	// log.Fatal from library code mid-flow.
+	spec, err := arbiter.ParsePolicySpec(o.policy)
+	if err != nil {
+		return err
+	}
+	contention, err := core.ParseContention(o.contend)
 	if err != nil {
 		return err
 	}
@@ -111,24 +168,36 @@ func runFlow(design string, tiles int, auto, conservative bool, policy string, m
 	g := fft.Taskgraph()
 	board := rc.Wildforce()
 	opts := core.Options{
-		Insert: arbinsert.Options{M: m, Conservative: conservative},
+		Insert:            arbinsert.Options{M: o.m, Conservative: o.conservative},
+		Contention:        contention,
+		ContentionSeed:    o.contendSeed,
+		MaxCyclesPerStage: o.maxCycles,
 	}
-	if !auto {
+	if opts.MaxCyclesPerStage == 0 && len(contention) > 0 {
+		// Background hogs can starve the design forever; bound the
+		// watchdog so a starved run reports quickly instead of tracing
+		// ten million cycles.
+		opts.MaxCyclesPerStage = 1_000_000
+	}
+	if !o.auto {
 		opts.Partition.FixedStages = fft.PaperStages()
 	}
 
-	d, err := core.Compile(g, board, fft.Programs(tiles), opts)
+	d, err := core.Compile(g, board, fft.Programs(o.tiles), opts)
 	if err != nil {
 		return err
 	}
-	// The compiled design fixes every arbiter's size; check the spec
-	// against each of them so size-dependent constraints (wrr weight
-	// counts, hier group divisibility) also fail cleanly before
+	// The compiled design fixes every arbiter's size — including the
+	// phantom lines contention adds — so size-dependent constraints
+	// (wrr weight counts, hier group divisibility) fail cleanly before
 	// simulation.
+	phantom := core.PhantomLines(contention)
 	for _, sp := range d.Stages {
 		for _, a := range sp.Inserted.Arbiters {
-			if _, err := spec.New(a.N()); err != nil {
-				return fmt.Errorf("policy %s unusable for the %d-task arbiter on %s: %w", spec, a.N(), a.Resource, err)
+			lines := a.N() + phantom[a.Resource]
+			if _, err := spec.New(lines); err != nil {
+				return fmt.Errorf("policy %s unusable for the %d-line arbiter on %s (%d tasks + %d phantom): %w",
+					spec, lines, a.Resource, a.N(), phantom[a.Resource], err)
 			}
 		}
 	}
@@ -143,11 +212,12 @@ func runFlow(design string, tiles int, auto, conservative bool, policy string, m
 	fmt.Print(d.Report())
 
 	mem := sim.NewMemory()
-	in := fft.LoadInput(mem, tiles, 42)
+	in := fft.LoadInput(mem, o.tiles, 42)
 	res, err := core.Simulate(d, mem, opts)
 	if err != nil {
 		return err
 	}
+	tiles := o.tiles
 	fmt.Println("== simulation ==")
 	for si, ss := range res.Stages {
 		fmt.Printf("temporal partition #%d: %d cycles", si, ss.Stats.Cycles)
@@ -158,6 +228,7 @@ func runFlow(design string, tiles int, auto, conservative bool, policy string, m
 			fmt.Printf(", VIOLATIONS: %d", len(ss.Stats.Violations))
 		}
 		fmt.Println()
+		printContention(ss.Stats)
 	}
 	if err := fft.CheckOutput(mem, in); err != nil {
 		fmt.Println("output check: FAIL:", err)
@@ -172,6 +243,23 @@ func runFlow(design string, tiles int, auto, conservative bool, policy string, m
 	fmt.Printf("software (Pentium-150 model): %.2f s\n", fft.SoftwareSeconds(512))
 	fmt.Printf("speedup: %.2fx\n", fft.SoftwareSeconds(512)/fft.HardwareSeconds(cpt, 512))
 	return nil
+}
+
+// printContention reports the background phantom lines' grants and
+// waits for one stage, in sorted resource order.
+func printContention(st *sim.Stats) {
+	if len(st.Contention) == 0 {
+		return
+	}
+	resources := make([]string, 0, len(st.Contention))
+	for r := range st.Contention {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	for _, r := range resources {
+		cs := st.Contention[r]
+		fmt.Printf("  background on %s: grants %v, wait cycles %v\n", r, cs.Grants, cs.Waits)
+	}
 }
 
 func totalWait(m map[string]int) int {

@@ -1,0 +1,86 @@
+package arbiter
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedSpecs is the seed corpus: every canonical kind and alias, the
+// parameter grammar's corners, and representative junk.
+func fuzzSeedSpecs() []string {
+	return []string{
+		"round-robin", "rr", "fifo", "priority", "fsm",
+		"random", "random:1", "random:65535", "random:0", "random:65536",
+		"netlist", "netlist:one-hot", "netlist:compact", "netlist:gray", "netlist:bogus",
+		"preemptive", "preemptive:1", "preemptive:4", "preemptive:0", "preemptive:-3",
+		"wrr", "weighted", "weighted-round-robin", "wrr:3", "wrr:1,2,3", "wrr:2,", "wrr:,", "wrr:0",
+		"hier", "tree", "hierarchical", "hier:1", "hier:2", "hier:16", "hier:999",
+		"", ":", "::", "rr:", "rr:x", "unknown", "fifo:1", "wrr:1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17",
+		"random:99999999999999999999", "hier:-1", "préemptive", "wrr:\x00", "netlist:",
+	}
+}
+
+// checkSpecRoundTrip is the property the fuzzer drives: parsing never
+// panics; a successful parse canonicalizes through String() to a form
+// that reparses to the identical spec (String is a fixed point of
+// parse∘String); and instantiation at representative sizes either
+// builds a policy of the right width or fails cleanly — never panics.
+func checkSpecRoundTrip(t *testing.T, s string) {
+	t.Helper()
+	sp, err := ParsePolicySpec(s)
+	if err != nil {
+		if sp != nil {
+			t.Fatalf("ParsePolicySpec(%q) returned both a spec and error %v", s, err)
+		}
+		if !strings.Contains(err.Error(), "arbiter:") {
+			t.Fatalf("ParsePolicySpec(%q) error %q lacks the package prefix", s, err)
+		}
+		return
+	}
+	canon := sp.String()
+	sp2, err := ParsePolicySpec(canon)
+	if err != nil {
+		t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+	}
+	if !reflect.DeepEqual(sp, sp2) {
+		t.Fatalf("round trip diverges for %q: %+v -> %q -> %+v", s, sp, canon, sp2)
+	}
+	if got := sp2.String(); got != canon {
+		t.Fatalf("String is not a fixed point for %q: %q -> %q", s, canon, got)
+	}
+	sizes := []int{MinN, 7} // 7 also exercises wrr/hier size constraints
+	if sp.Kind == "netlist" || sp.Kind == "fsm" {
+		sizes = sizes[:1] // synthesis-backed kinds: keep the fuzzer fast
+	}
+	for _, n := range sizes {
+		p, err := sp.New(n)
+		if err != nil {
+			continue // size-dependent constraint; a clean error is fine
+		}
+		if p.N() != n {
+			t.Fatalf("%q at N=%d built a %d-line policy", s, n, p.N())
+		}
+	}
+}
+
+// FuzzParsePolicySpec fuzzes the policy-spec grammar: no input may
+// panic the parser, and every accepted input must round-trip through
+// its canonical String() form. CI smokes this with a short -fuzztime.
+func FuzzParsePolicySpec(f *testing.F) {
+	for _, s := range fuzzSeedSpecs() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		checkSpecRoundTrip(t, s)
+	})
+}
+
+// TestParsePolicySpecSeedCorpus runs the fuzz property over the seed
+// corpus in plain `go test`, so the round-trip invariants are enforced
+// on every run, not only when the fuzzer is invoked.
+func TestParsePolicySpecSeedCorpus(t *testing.T) {
+	for _, s := range fuzzSeedSpecs() {
+		checkSpecRoundTrip(t, s)
+	}
+}

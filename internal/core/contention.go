@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sparcs/internal/sim"
+	"sparcs/internal/workload"
+)
+
+// ContentionSpec asks Simulate to inject one background phantom
+// requester: a workload generator claiming Lines extra request lines on
+// the arbiter guarding Resource, in every stage where that resource is
+// arbitrated. The textual grammar (ParseContention) is
+//
+//	resource=workload[/lines]
+//
+// comma-separated, e.g. "M1=hog/2,M3=bernoulli:0.50" — the workload
+// half is any workload.NewGenerator spec.
+type ContentionSpec struct {
+	// Resource names the arbitrated bank or physical channel ("M1").
+	Resource string
+	// Workload is the generator spec ("bursty", "bernoulli:0.30", ...).
+	Workload string
+	// Lines is the number of phantom request lines; 0 means 1.
+	Lines int
+}
+
+// String renders the canonical textual form of the spec.
+func (c ContentionSpec) String() string {
+	lines := c.Lines
+	if lines == 0 {
+		lines = 1
+	}
+	return fmt.Sprintf("%s=%s/%d", c.Resource, c.Workload, lines)
+}
+
+// ParseContention parses a comma-separated list of contention specs of
+// the grammar documented on ContentionSpec. Workload names are
+// validated immediately (against a placeholder size); resource names
+// can only be checked against a compiled design, which Simulate does.
+func ParseContention(s string) ([]ContentionSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []ContentionSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		eq := strings.IndexByte(entry, '=')
+		if eq <= 0 || eq == len(entry)-1 {
+			return nil, fmt.Errorf("core: contention entry %q is not resource=workload[/lines]", entry)
+		}
+		cs := ContentionSpec{Resource: entry[:eq], Workload: entry[eq+1:], Lines: 1}
+		if sl := strings.LastIndexByte(cs.Workload, '/'); sl >= 0 {
+			v, err := strconv.Atoi(cs.Workload[sl+1:])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("core: contention entry %q: line count %q must be a positive integer", entry, cs.Workload[sl+1:])
+			}
+			cs.Lines = v
+			cs.Workload = cs.Workload[:sl]
+		}
+		if _, err := workload.NewGenerator(cs.Workload, cs.Lines, 1); err != nil {
+			return nil, fmt.Errorf("core: contention entry %q: %w", entry, err)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// PhantomLines sums the phantom request lines the options add per
+// resource — what arbiter policies must be sized for on top of each
+// ArbiterSpec's member count. Statically silent workloads ("silent")
+// are excluded, mirroring the simulator's elision.
+func PhantomLines(specs []ContentionSpec) map[string]int {
+	extra := map[string]int{}
+	for _, cs := range specs {
+		gen, err := workload.NewGenerator(cs.Workload, lines(cs), 1)
+		if err != nil {
+			continue // Simulate will surface the error with context
+		}
+		if s, ok := gen.(sim.StaticallySilent); ok && s.Silent() {
+			continue
+		}
+		extra[cs.Resource] += lines(cs)
+	}
+	return extra
+}
+
+func lines(cs ContentionSpec) int {
+	if cs.Lines == 0 {
+		return 1
+	}
+	return cs.Lines
+}
+
+// stageContention builds the sim sources for one stage: one fresh
+// generator per spec whose resource is arbitrated in the stage. Seeds
+// are derived from the spec's index so every source has an independent
+// stream, and from the options seed only — not the stage — so a
+// resource arbitrated in several stages faces the same background
+// process in each (each stage constructs fresh generator state).
+func stageContention(sp *StagePlan, specs []ContentionSpec, seed uint64) ([]sim.ContentionSource, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	arbitrated := map[string]bool{}
+	for _, a := range sp.Inserted.Arbiters {
+		arbitrated[a.Resource] = true
+	}
+	var out []sim.ContentionSource
+	for i, cs := range specs {
+		if !arbitrated[cs.Resource] {
+			continue
+		}
+		gen, err := workload.NewGenerator(cs.Workload, lines(cs), seed+uint64(i+1)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("core: contention %s: %w", cs, err)
+		}
+		out = append(out, sim.ContentionSource{Resource: cs.Resource, Gen: gen})
+	}
+	return out, nil
+}
+
+// validateContention rejects specs naming resources no stage
+// arbitrates — a typo guard: silently ignoring "M9=hog" would report a
+// contention-free run as if the background load had been applied.
+func validateContention(d *Design, specs []ContentionSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	arbitrated := map[string]bool{}
+	for _, sp := range d.Stages {
+		for _, a := range sp.Inserted.Arbiters {
+			arbitrated[a.Resource] = true
+		}
+	}
+	for _, cs := range specs {
+		if !arbitrated[cs.Resource] {
+			var have []string
+			for r := range arbitrated {
+				have = append(have, r)
+			}
+			sort.Strings(have)
+			return fmt.Errorf("core: contention resource %s is not arbitrated in any stage (arbitrated: %s)",
+				cs.Resource, strings.Join(have, ", "))
+		}
+	}
+	return nil
+}

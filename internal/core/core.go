@@ -33,6 +33,15 @@ type Options struct {
 	// part of simulation whose memory cost grows with cycle count.
 	// Sweeps that only need cycle/violation/grant statistics set this.
 	DisableTraces bool
+	// Contention injects background phantom requesters alongside the
+	// compiled tasks: each spec attaches a workload generator to the
+	// named arbiter in every stage where the resource is arbitrated.
+	// NewPolicy then receives the widened line count (members plus
+	// phantom lines) for those arbiters.
+	Contention []ContentionSpec
+	// ContentionSeed seeds the background generators' random streams
+	// (0 means 1). Runs are deterministic for a given seed.
+	ContentionSeed uint64
 }
 
 // StagePlan is one compiled temporal partition.
@@ -114,8 +123,15 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 	if mem == nil {
 		mem = sim.NewMemory()
 	}
+	if err := validateContention(d, opts.Contention); err != nil {
+		return nil, err
+	}
 	res := &RunResult{Memory: mem}
 	for _, sp := range d.Stages {
+		contention, err := stageContention(sp, opts.Contention, opts.ContentionSeed)
+		if err != nil {
+			return nil, err
+		}
 		cfg := sim.Config{
 			Graph:             d.Graph,
 			Tasks:             sp.Stage.Tasks,
@@ -127,6 +143,7 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 			MaxCycles:         opts.MaxCyclesPerStage,
 			Memory:            mem,
 			DisableTraces:     opts.DisableTraces,
+			Contention:        contention,
 		}
 		stats, err := sim.Run(cfg)
 		if err != nil {

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sparcs/internal/arbiter"
+	"sparcs/internal/behav"
+	"sparcs/internal/partition"
+)
+
+// countedRequester is a closed-loop test source: it requests on its
+// single line until it has observed `want` grants through the feedback
+// vector, then goes quiet forever. It proves grants really reach the
+// generator: without feedback it would never stop requesting.
+type countedRequester struct {
+	want     int
+	observed int
+}
+
+func (c *countedRequester) Name() string { return "counted" }
+func (c *countedRequester) N() int       { return 1 }
+func (c *countedRequester) Reset()       { c.observed = 0 }
+
+func (c *countedRequester) Next(req, prevGrant []bool) {
+	if prevGrant[0] {
+		c.observed++
+	}
+	req[0] = c.observed < c.want
+}
+
+// quietRequester never requests but is not statically silent, so its
+// lines are wired and the policy widened.
+type quietRequester struct{ n int }
+
+func (q *quietRequester) Name() string       { return "quiet" }
+func (q *quietRequester) N() int             { return q.n }
+func (q *quietRequester) Reset()             {}
+func (q *quietRequester) Next(req, _ []bool) { clearBools(req) }
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+// silentRequester is the statically silent variant sim must elide.
+type silentRequester struct{ quietRequester }
+
+func (s *silentRequester) Silent() bool { return true }
+
+// contendedConfig is the refsim contended scenario: two tasks looping
+// Req/WaitGrant/accesses/Release on bankS.
+func contendedConfig() Config {
+	g := simpleGraph()
+	prog := func(base int) behav.Program {
+		return behav.Program{Body: []behav.Instr{
+			behav.Req("bankS"), behav.WaitGrant("bankS"),
+			behav.WriteImm("S", base, int64(base)), behav.Read("S", base),
+			behav.Write("S", base+1),
+			behav.Release("bankS"),
+			behav.Compute(2),
+		}, Repeat: 25}
+	}
+	return Config{
+		Graph:             g,
+		Tasks:             []string{"A", "B"},
+		Programs:          map[string]behav.Program{"A": prog(0), "B": prog(100)},
+		Arbiters:          []partition.ArbiterSpec{arbSpec("bankS", "A", "B")},
+		ResourceOfSegment: map[string]string{"S": "bankS"},
+		Memory:            NewMemory(),
+	}
+}
+
+// TestContentionClosedLoop: the phantom requester observes exactly the
+// grants the run attributes to it, and its request line goes quiet once
+// served — grants demonstrably feed back into the generator.
+func TestContentionClosedLoop(t *testing.T) {
+	cfg := contendedConfig()
+	src := &countedRequester{want: 5}
+	cfg.Contention = []ContentionSource{{Resource: "bankS", Gen: src}}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stats.Contention["bankS"]
+	if cs == nil {
+		t.Fatal("no contention stats for bankS")
+	}
+	if len(cs.Grants) != 1 || len(cs.Waits) != 1 {
+		t.Fatalf("contention stats are %d/%d lines, want 1/1", len(cs.Grants), len(cs.Waits))
+	}
+	if cs.Grants[0] != 5 {
+		t.Fatalf("phantom won %d grants, want exactly its demand of 5", cs.Grants[0])
+	}
+	if src.observed != 5 {
+		t.Fatalf("generator observed %d grants through feedback, stats say 5", src.observed)
+	}
+	// The phantom's grants must also appear in the widened trace, on
+	// the phantom column, and member grant accounting must exclude them.
+	phantomGrants := 0
+	memberGrants := 0
+	for _, step := range stats.ArbiterTraces["bankS"] {
+		if len(step.Req) != 3 || len(step.Grant) != 3 {
+			t.Fatalf("trace width %d, want members+phantom = 3", len(step.Req))
+		}
+		if step.Grant[2] {
+			phantomGrants++
+		}
+		if step.Grant[0] || step.Grant[1] {
+			memberGrants++
+		}
+	}
+	if phantomGrants != 5 {
+		t.Fatalf("trace shows %d phantom grants, want 5", phantomGrants)
+	}
+	if stats.GrantsByRes["bankS"] != memberGrants {
+		t.Fatalf("GrantsByRes = %d, want member-only count %d", stats.GrantsByRes["bankS"], memberGrants)
+	}
+	if !stats.Done {
+		t.Fatal("run did not complete")
+	}
+}
+
+// TestContentionSilentElision: a statically silent source leaves Stats
+// (traces included) deeply equal to an uninstrumented run — sim's no-op
+// path, independent of any workload import.
+func TestContentionSilentElision(t *testing.T) {
+	plain, err := Run(contendedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := contendedConfig()
+	cfg.Contention = []ContentionSource{{Resource: "bankS", Gen: &silentRequester{quietRequester{n: 2}}}}
+	quiet, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, quiet) {
+		t.Fatalf("silent contention perturbed stats:\nplain: %+v\nquiet: %+v", plain, quiet)
+	}
+}
+
+// TestContentionErrors: unknown resources, nil generators, and
+// zero-line generators are rejected before any cycle runs.
+func TestContentionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  ContentionSource
+	}{
+		{"unknown-resource", ContentionSource{Resource: "bankZ", Gen: &quietRequester{n: 1}}},
+		// Elision must not skip validation: a typo'd resource errors
+		// even when the source is silent.
+		{"unknown-resource-silent", ContentionSource{Resource: "bankZ", Gen: &silentRequester{quietRequester{n: 1}}}},
+		{"nil-generator", ContentionSource{Resource: "bankS"}},
+		{"zero-lines", ContentionSource{Resource: "bankS", Gen: &quietRequester{n: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := contendedConfig()
+			cfg.Contention = []ContentionSource{tc.src}
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("expected a wiring error")
+			}
+		})
+	}
+}
+
+// TestContentionPolicySizing: the NewPolicy callback receives the
+// widened line count — members plus every attached source's lines —
+// and multiple sources on one resource stack in config order.
+func TestContentionPolicySizing(t *testing.T) {
+	cfg := contendedConfig()
+	cfg.Contention = []ContentionSource{
+		{Resource: "bankS", Gen: &quietRequester{n: 2}},
+		{Resource: "bankS", Gen: &quietRequester{n: 1}},
+	}
+	var sizes []int
+	cfg.NewPolicy = func(n int) arbiter.Policy {
+		sizes = append(sizes, n)
+		return arbiter.NewRoundRobin(n)
+	}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 || sizes[0] != 5 {
+		t.Fatalf("policy sized %v, want [5] (2 members + 2 + 1 phantom lines)", sizes)
+	}
+	cs := stats.Contention["bankS"]
+	if cs == nil || len(cs.Grants) != 3 {
+		t.Fatalf("contention stats %+v, want 3 phantom lines", cs)
+	}
+}

@@ -10,6 +10,12 @@
 // functions, so arbitration bugs surface as corrupted values in addition
 // to violation records.
 //
+// Background contention can be injected alongside the compiled tasks:
+// Config.Contention attaches closed-loop phantom requesters (any
+// workload.Generator) to named arbiters, widening their request vectors
+// and policies so synthetic traffic competes for grants exactly like a
+// real task — see ContentionSource.
+//
 // The per-cycle path is allocation-free: programs are precompiled so
 // every resource/segment/channel name resolves to a pointer or dense
 // index once at setup, arbiters step through arbiter.StepInto into
@@ -57,6 +63,13 @@ type Config struct {
 	// need cycle/violation/grant statistics set this; Stats.ArbiterTraces
 	// then maps each resource to nil.
 	DisableTraces bool
+	// Contention attaches background phantom requesters to named
+	// arbiters: each source's lines are appended after the member
+	// tasks' request lines, the policy is constructed over the widened
+	// count, and grants won by phantoms are fed back into their closed
+	// loops. Statically silent sources (StaticallySilent) are elided
+	// entirely, so zero-rate contention is a byte-identical no-op.
+	Contention []ContentionSource
 }
 
 // Violation records one sharing error.
@@ -84,20 +97,30 @@ type Stats struct {
 	Violations      []Violation
 	ArbiterTraces   map[string][]arbiter.TraceStep
 	PerTaskOverhead map[string]int
+	// Contention maps each resource with active (non-elided) background
+	// sources to its phantom-line statistics; nil when the run had no
+	// active contention, so uninstrumented Stats stay byte-identical.
+	Contention map[string]*ContentionStats
 }
 
 // arbInst is one arbiter instance with its reusable request/grant
-// vectors and trace arena.
+// vectors and trace arena. With contention attached, req/grant cover
+// memberN task lines followed by the phantom sources' line windows, and
+// traces record the full widened width.
 type arbInst struct {
-	res    string
-	spec   partition.ArbiterSpec
-	policy arbiter.Policy
-	index  map[string]int // task -> line (setup only)
-	req    []bool
-	grant  []bool
-	grants int // flushed to Stats.GrantsByRes after the run
-	trace  []arbiter.TraceStep
-	arena  []bool // chunked backing for trace req/grant copies
+	res      string
+	spec     partition.ArbiterSpec
+	policy   arbiter.Policy
+	index    map[string]int // task -> line (setup only)
+	memberN  int            // request lines belonging to member tasks
+	req      []bool
+	grant    []bool
+	grants   int // member grants, flushed to Stats.GrantsByRes after the run
+	trace    []arbiter.TraceStep
+	arena    []bool       // chunked backing for trace req/grant copies
+	sources  []contSource // background phantom requesters
+	phGrants []int        // per phantom line, flushed to Stats.Contention
+	phWaits  []int
 }
 
 // record appends this cycle's request/grant vectors to the trace,
@@ -213,17 +236,27 @@ func Run(cfg Config) (*Stats, error) {
 	arbs := map[string]*arbInst{}
 	for _, spec := range cfg.Arbiters {
 		ai := &arbInst{
-			res:    spec.Resource,
-			spec:   spec,
-			policy: newPolicy(spec.N()),
-			index:  map[string]int{},
-			req:    make([]bool, spec.N()),
-			grant:  make([]bool, spec.N()),
+			res:     spec.Resource,
+			spec:    spec,
+			index:   map[string]int{},
+			memberN: spec.N(),
+			req:     make([]bool, spec.N()),
+			grant:   make([]bool, spec.N()),
 		}
 		for i, t := range spec.Members {
 			ai.index[t] = i
 		}
 		arbs[spec.Resource] = ai
+	}
+	// Phantom lines widen req/grant before the policies are sized.
+	if err := wireContention(cfg.Contention, arbs); err != nil {
+		return nil, err
+	}
+	// Construct policies in cfg.Arbiters order (not map order), so a
+	// stateful NewPolicy closure sees a deterministic call sequence.
+	for _, spec := range cfg.Arbiters {
+		ai := arbs[spec.Resource]
+		ai.policy = newPolicy(len(ai.req))
 	}
 	arbList := make([]*arbInst, 0, len(arbs))
 	for _, ai := range arbs {
@@ -339,12 +372,26 @@ func Run(cfg Config) (*Stats, error) {
 		}
 
 		// Phase 1: arbiters sample request lines (set by earlier cycles)
-		// and issue grants for this cycle.
+		// and issue grants for this cycle. Phantom sources refresh their
+		// lines first, observing last cycle's grants — the closed loop.
 		for _, ai := range arbList {
+			for _, cs := range ai.sources {
+				cs.gen.Next(ai.req[cs.off:cs.off+cs.n], ai.grant[cs.off:cs.off+cs.n])
+			}
 			arbiter.StepInto(ai.policy, ai.req, ai.grant)
-			for _, g := range ai.grant {
+			for _, g := range ai.grant[:ai.memberN] {
 				if g {
 					ai.grants++
+				}
+			}
+			if len(ai.sources) > 0 {
+				for i, g := range ai.grant[ai.memberN:] {
+					switch {
+					case g:
+						ai.phGrants[i]++
+					case ai.req[ai.memberN+i]:
+						ai.phWaits[i]++
+					}
 				}
 			}
 			if !cfg.DisableTraces {
@@ -536,6 +583,12 @@ func Run(cfg Config) (*Stats, error) {
 		stats.ArbiterTraces[ai.res] = ai.trace
 		if ai.grants > 0 {
 			stats.GrantsByRes[ai.res] = ai.grants
+		}
+		if len(ai.sources) > 0 {
+			if stats.Contention == nil {
+				stats.Contention = map[string]*ContentionStats{}
+			}
+			stats.Contention[ai.res] = &ContentionStats{Grants: ai.phGrants, Waits: ai.phWaits}
 		}
 	}
 	if !stats.Done {

@@ -1,0 +1,76 @@
+// Capture → replay: the bridge that closes the trace loop between the
+// full-system simulator and the standalone workload engine. Request
+// streams measured by sim.Run (recorded in Stats.ArbiterTraces) convert
+// into replayable trace generators, so a policy grid can pit the FFT's
+// actual arbitration traffic against the synthetic shapes.
+
+package workload
+
+import (
+	"fmt"
+
+	"sparcs/internal/arbiter"
+)
+
+// Column is one workload column of an evaluation grid: a named
+// generator factory. Grids construct one fresh generator per cell
+// (cells run concurrently and generators are stateful), so a Column
+// carries the recipe, not the instance. SpecColumn wraps the textual
+// grammar; TraceColumn and FromArbiterTrace wrap recorded request
+// patterns that no spec string can express.
+type Column struct {
+	// Name labels the column in results and tables.
+	Name string
+	// New constructs the column's generator for an n-line arbiter.
+	// Open-loop replay columns ignore seed.
+	New func(n int, seed uint64) (Generator, error)
+}
+
+// SpecColumn returns the column for a textual workload spec
+// ("bernoulli:0.30", "hog", ...), deferring construction to the grid.
+func SpecColumn(spec string) Column {
+	return Column{
+		Name: spec,
+		New:  func(n int, seed uint64) (Generator, error) { return NewGenerator(spec, n, seed) },
+	}
+}
+
+// TraceColumn returns a column replaying a fixed request pattern
+// through NewTrace. Every step must have exactly the same width, which
+// becomes the only arbiter size the column accepts.
+func TraceColumn(name string, steps [][]bool) Column {
+	return Column{
+		Name: name,
+		New: func(n int, seed uint64) (Generator, error) {
+			if len(steps) > 0 && len(steps[0]) != n {
+				return nil, fmt.Errorf("workload: trace column %q is %d lines wide, grid wants %d", name, len(steps[0]), n)
+			}
+			return NewTrace(name, n, steps)
+		},
+	}
+}
+
+// FromArbiterTrace converts a request stream captured by the
+// full-system simulator (one resource's sim.Stats.ArbiterTraces entry)
+// into a replayable grid column: the per-cycle request vectors are
+// copied out of the trace and replayed cyclically through NewTrace,
+// open-loop, exactly as measured. The grant half of the trace is
+// deliberately dropped — grants were the recording policy's decisions,
+// and the point of replay is to let other policies re-decide them.
+func FromArbiterTrace(name string, steps []arbiter.TraceStep) (Column, error) {
+	if len(steps) == 0 {
+		return Column{}, fmt.Errorf("workload: captured trace %q has no steps", name)
+	}
+	width := len(steps[0].Req)
+	if width == 0 {
+		return Column{}, fmt.Errorf("workload: captured trace %q has zero-width request vectors", name)
+	}
+	reqs := make([][]bool, len(steps))
+	for c, s := range steps {
+		if len(s.Req) != width {
+			return Column{}, fmt.Errorf("workload: captured trace %q step %d is %d lines wide, step 0 had %d", name, c, len(s.Req), width)
+		}
+		reqs[c] = append([]bool(nil), s.Req...)
+	}
+	return TraceColumn(name, reqs), nil
+}

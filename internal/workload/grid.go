@@ -37,22 +37,36 @@ func (o GridOptions) withDefaults() GridOptions {
 // RunGrid drives every policy spec under every workload spec and
 // returns one Metrics per cell in row-major order (policies × workloads,
 // workloads fastest). A nil policies or workloads slice evaluates the
-// full default list (DefaultPolicies / DefaultWorkloads). Cells are
-// independent — each constructs its own policy and generator — and fan
-// out across GOMAXPROCS workers via sim.ParallelFor; results and their
-// order are fully deterministic.
-//
-// Both spec lists are validated up front (including size-dependent
-// constraints like hier group divisibility) so a bad name fails fast
-// instead of erroring from inside a worker.
+// full default list (DefaultPolicies / DefaultWorkloads). It is the
+// spec-string front end of RunGridColumns.
 func RunGrid(policies, workloads []string, opt GridOptions) ([]*Metrics, error) {
-	if policies == nil {
-		policies = DefaultPolicies()
-	}
 	if workloads == nil {
 		workloads = DefaultWorkloads()
 	}
-	if len(policies) == 0 || len(workloads) == 0 {
+	cols := make([]Column, len(workloads))
+	for i, ws := range workloads {
+		cols[i] = SpecColumn(ws)
+	}
+	return RunGridColumns(policies, cols, opt)
+}
+
+// RunGridColumns drives every policy spec under every workload column —
+// textual specs via SpecColumn, measured request streams via
+// FromArbiterTrace/TraceColumn — returning one Metrics per cell in
+// row-major order (policies × columns, columns fastest). A nil policies
+// slice evaluates DefaultPolicies. Cells are independent — each
+// constructs its own policy and generator from the column recipe — and
+// fan out across GOMAXPROCS workers via sim.ParallelFor; results and
+// their order are fully deterministic.
+//
+// Policies and columns are validated up front (including size-dependent
+// constraints like hier group divisibility and trace widths) so a bad
+// entry fails fast instead of erroring from inside a worker.
+func RunGridColumns(policies []string, cols []Column, opt GridOptions) ([]*Metrics, error) {
+	if policies == nil {
+		policies = DefaultPolicies()
+	}
+	if len(policies) == 0 || len(cols) == 0 {
 		return nil, fmt.Errorf("workload: grid needs at least one policy and one workload")
 	}
 	opt = opt.withDefaults()
@@ -67,17 +81,20 @@ func RunGrid(policies, workloads []string, opt GridOptions) ([]*Metrics, error) 
 		}
 		specs[i] = sp
 	}
-	for _, ws := range workloads {
-		if _, err := NewGenerator(ws, opt.N, opt.Seed); err != nil {
+	for _, col := range cols {
+		if col.New == nil {
+			return nil, fmt.Errorf("workload: column %q has no generator factory", col.Name)
+		}
+		if _, err := col.New(opt.N, opt.Seed); err != nil {
 			return nil, err
 		}
 	}
 
-	cells := len(policies) * len(workloads)
+	cells := len(policies) * len(cols)
 	out := make([]*Metrics, cells)
 	errs := make([]error, cells)
 	sim.ParallelFor(cells, func(idx int) {
-		pi, wi := idx/len(workloads), idx%len(workloads)
+		pi, wi := idx/len(cols), idx%len(cols)
 		p, err := specs[pi].New(opt.N)
 		if err != nil {
 			errs[idx] = err
@@ -85,7 +102,7 @@ func RunGrid(policies, workloads []string, opt GridOptions) ([]*Metrics, error) 
 		}
 		// Column seed depends only on the workload, so every policy in
 		// a column faces the same arrival process.
-		g, err := NewGenerator(workloads[wi], opt.N, opt.Seed+uint64(wi)*0x9e3779b97f4a7c15)
+		g, err := cols[wi].New(opt.N, opt.Seed+uint64(wi)*0x9e3779b97f4a7c15)
 		if err != nil {
 			errs[idx] = err
 			return
@@ -95,14 +112,16 @@ func RunGrid(policies, workloads []string, opt GridOptions) ([]*Metrics, error) 
 	for idx, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("workload: grid cell %s × %s: %w",
-				policies[idx/len(workloads)], workloads[idx%len(workloads)], err)
+				policies[idx/len(cols)], cols[idx%len(cols)].Name, err)
 		}
 	}
 	return out, nil
 }
 
 // FormatTable renders grid results as an aligned fairness/wait/
-// utilization table, one row per cell in input order.
+// utilization table, one row per cell in input order. The p50/p99
+// columns are percentile wait upper bounds derived from the log2
+// WaitHist buckets (see Metrics.PercentileWait).
 func FormatTable(cells []*Metrics) string {
 	var b strings.Builder
 	pw, ww := len("policy"), len("workload")
@@ -114,18 +133,19 @@ func FormatTable(cells []*Metrics) string {
 			ww = len(m.Workload)
 		}
 	}
-	fmt.Fprintf(&b, "%-*s  %-*s  %6s  %6s  %5s  %9s  %8s  %8s  %s\n",
+	fmt.Fprintf(&b, "%-*s  %-*s  %6s  %6s  %5s  %9s  %5s  %5s  %8s  %8s  %s\n",
 		pw, "policy", ww, "workload", "util", "demand", "jain",
-		"mean_wait", "max_wait", "worst_ep", "violation")
+		"mean_wait", "p50", "p99", "max_wait", "worst_ep", "violation")
 	for _, m := range cells {
 		viol := m.Violation
 		if viol == "" {
 			viol = "-"
 		}
-		fmt.Fprintf(&b, "%-*s  %-*s  %6.3f  %6.3f  %5.3f  %9.2f  %8d  %8d  %s\n",
+		fmt.Fprintf(&b, "%-*s  %-*s  %6.3f  %6.3f  %5.3f  %9.2f  %5d  %5d  %8d  %8d  %s\n",
 			pw, m.Policy, ww, m.Workload,
 			m.Utilization(), m.Demand(), m.Jain(),
-			m.MeanWait(), m.MaxWait(), m.WorstEpisodes(), viol)
+			m.MeanWait(), m.PercentileWait(0.50), m.PercentileWait(0.99),
+			m.MaxWait(), m.WorstEpisodes(), viol)
 	}
 	return b.String()
 }

@@ -132,6 +132,61 @@ func (m *Metrics) WorstEpisodes() int {
 	return worst
 }
 
+// PercentileWait returns an upper bound in cycles on the q-quantile of
+// the service-wait distribution (q in (0,1], e.g. 0.50 or 0.99),
+// derived from the log2 WaitHist buckets: the smallest bucket whose
+// cumulative count reaches ceil(q·services) is located, and its upper
+// edge is reported — 0 for the zero-wait bucket, 2^k−1 for bucket k.
+// Because the last bucket absorbs everything from 2^(WaitBuckets−2) up,
+// a quantile landing there reports that bucket's lower edge (the bound
+// "at least this much"). A run with no completed services reports 0.
+func (m *Metrics) PercentileWait(q float64) int {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	var total int64
+	for _, c := range m.WaitHist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	// ceil(q*total) without float edge-cases at the top: the target
+	// rank is in [1, total].
+	target := int64(q * float64(total))
+	if float64(target) < q*float64(total) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for b := 0; b < WaitBuckets; b++ {
+		cum += m.WaitHist[b]
+		if cum >= target {
+			return bucketEdge(b)
+		}
+	}
+	return bucketEdge(WaitBuckets - 1)
+}
+
+// bucketEdge is the reported wait for a quantile landing in bucket b:
+// the inclusive upper edge 2^b−1, except the open-ended last bucket,
+// which reports its lower edge 2^(WaitBuckets−2).
+func bucketEdge(b int) int {
+	switch {
+	case b == 0:
+		return 0
+	case b == WaitBuckets-1:
+		return 1 << (WaitBuckets - 2)
+	default:
+		return 1<<b - 1
+	}
+}
+
 // histBucket maps a wait in cycles to its log2 histogram bucket.
 func histBucket(wait int) int {
 	b := bits.Len(uint(wait))

@@ -301,6 +301,34 @@ func (m *markov) Next(req, prevGrant []bool) {
 	}
 }
 
+// silent is the zero-rate source: it never requests. Its Silent marker
+// lets sim.Run elide it entirely (the contention no-op path), so a
+// simulation configured with silent background sources is byte-identical
+// to an uninstrumented one under every policy.
+type silent struct{ n int }
+
+// NewSilent returns the zero-rate generator: n lines that never
+// request. It implements sim.StaticallySilent.
+func NewSilent(n int) (Generator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: N must be positive, got %d", n)
+	}
+	return &silent{n: n}, nil
+}
+
+func (s *silent) Name() string { return "silent" }
+func (s *silent) N() int       { return s.n }
+func (s *silent) Reset()       {}
+
+// Silent marks the generator as statically request-free.
+func (s *silent) Silent() bool { return true }
+
+func (s *silent) Next(req, prevGrant []bool) {
+	for i := range req {
+		req[i] = false
+	}
+}
+
 // trace replays a recorded request pattern cyclically — the open-loop
 // shape: requests do not react to grants, exactly as captured.
 type trace struct {
@@ -375,6 +403,7 @@ func checkRate(shape string, p float64) error {
 //	markov          global calm/storm regime modulation
 //	hog             task 1 requests forever, others moderate load
 //	trace           the built-in staggered/burst/silence replay
+//	silent          zero-rate: never requests (elided as contention)
 func NewGenerator(spec string, n int, seed uint64) (Generator, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("workload: N must be positive, got %d", n)
@@ -432,6 +461,11 @@ func NewGenerator(spec string, n int, seed uint64) (Generator, error) {
 			return nil, err
 		}
 		return NewTrace("trace", n, builtinTrace(n))
+	case "silent":
+		if err := noParam(); err != nil {
+			return nil, err
+		}
+		return NewSilent(n)
 	}
 	return nil, fmt.Errorf("workload: unknown workload %q (see NewGenerator for the grammar)", spec)
 }

@@ -25,6 +25,8 @@
 package sparcs
 
 import (
+	"fmt"
+
 	"sparcs/internal/arbiter"
 	"sparcs/internal/behav"
 	"sparcs/internal/core"
@@ -84,9 +86,107 @@ func EvaluatePolicies(policies, workloads []string, opt EvaluateOptions) ([]*Pol
 }
 
 // FormatPolicyTable renders EvaluatePolicies results as an aligned
-// fairness/wait/utilization table.
+// fairness/wait/utilization table (including p50/p99 percentile waits
+// derived from the wait histograms).
 func FormatPolicyTable(cells []*PolicyMetrics) string {
 	return workload.FormatTable(cells)
+}
+
+// WorkloadColumn is one workload column of an evaluation grid: a named
+// generator factory. Textual specs become columns via
+// workload.SpecColumn; measured request streams captured from
+// full-system simulations become columns via CaptureColumn.
+type WorkloadColumn = workload.Column
+
+// EvaluatePolicyColumns generalizes EvaluatePolicies to arbitrary
+// workload columns, letting measured traffic captured from a
+// full-system run stand next to the synthetic shapes in one grid.
+func EvaluatePolicyColumns(policies []string, cols []WorkloadColumn, opt EvaluateOptions) ([]*PolicyMetrics, error) {
+	return workload.RunGridColumns(policies, cols, opt)
+}
+
+// SpecWorkloadColumn wraps a textual workload spec ("bernoulli:0.30",
+// "hog", ...) as a grid column for EvaluatePolicyColumns.
+func SpecWorkloadColumn(spec string) WorkloadColumn {
+	return workload.SpecColumn(spec)
+}
+
+// CaptureColumn converts a request stream recorded by the simulator —
+// one resource's entry in sim.Stats.ArbiterTraces — into a replayable
+// workload column: the measured per-cycle request vectors replay
+// cyclically (open loop) through workload.NewTrace, so the arbitration
+// traffic of a real run becomes a first-class grid column.
+func CaptureColumn(name string, steps []arbiter.TraceStep) (WorkloadColumn, error) {
+	return workload.FromArbiterTrace(name, steps)
+}
+
+// FFTMeasuredColumn runs the Section 5 FFT case study under the named
+// arbitration policy (with trace recording on), captures the request
+// stream of the first arbiter with n request lines — n=6 selects the
+// paper's contended Arb6 bank — and returns it as a replayable grid
+// column named "fft:<resource>". The request stream is closed-loop
+// traffic shaped by the capture policy, so the policy spec is part of
+// the measurement; "round-robin" reproduces the paper's setup.
+func FFTMeasuredColumn(tiles, n int, policy string) (WorkloadColumn, error) {
+	if tiles <= 0 {
+		tiles = 6
+	}
+	spec, err := arbiter.ParsePolicySpec(policy)
+	if err != nil {
+		return WorkloadColumn{}, err
+	}
+	g := fft.Taskgraph()
+	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
+	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	if err != nil {
+		return WorkloadColumn{}, err
+	}
+	for _, sp := range d.Stages {
+		for _, a := range sp.Inserted.Arbiters {
+			if _, err := spec.New(a.N()); err != nil {
+				return WorkloadColumn{}, fmt.Errorf("sparcs: capture policy %s unusable for the %d-line arbiter on %s: %w", spec, a.N(), a.Resource, err)
+			}
+		}
+	}
+	opts.NewPolicy = func(n int) arbiter.Policy {
+		p, err := spec.New(n)
+		if err != nil {
+			panic(fmt.Sprintf("policy %s at N=%d: %v", spec, n, err)) // unreachable: sizes validated above
+		}
+		return p
+	}
+	mem := sim.NewMemory()
+	fft.LoadInput(mem, tiles, 42)
+	res, err := core.Simulate(d, mem, opts)
+	if err != nil {
+		return WorkloadColumn{}, err
+	}
+	var widths []int
+	for si, ss := range res.Stages {
+		for _, a := range d.Stages[si].Inserted.Arbiters {
+			trace := ss.Stats.ArbiterTraces[a.Resource]
+			if len(trace) == 0 {
+				continue
+			}
+			if w := len(trace[0].Req); w == n {
+				return workload.FromArbiterTrace(fmt.Sprintf("fft:%s", a.Resource), trace)
+			} else {
+				widths = append(widths, w)
+			}
+		}
+	}
+	return WorkloadColumn{}, fmt.Errorf("sparcs: the FFT design has no %d-line arbiter to capture (available widths: %v)", n, widths)
+}
+
+// ContentionSpec asks Simulate to inject one background phantom
+// requester alongside the compiled tasks (see core.ContentionSpec and
+// the "resource=workload[/lines]" grammar of ParseContention).
+type ContentionSpec = core.ContentionSpec
+
+// ParseContention parses a comma-separated contention spec list, e.g.
+// "M1=hog/2,M3=bernoulli:0.50", for core.Options.Contention.
+func ParseContention(s string) ([]ContentionSpec, error) {
+	return core.ParseContention(s)
 }
 
 // ArbiterVHDL renders the N-input round-robin arbiter as synthesizable

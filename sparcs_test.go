@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"sparcs"
+	"sparcs/internal/core"
 	"sparcs/internal/fft"
+	"sparcs/internal/partition"
 	"sparcs/internal/sim"
 )
 
@@ -236,5 +238,109 @@ func TestEvaluatePoliciesPublicAPI(t *testing.T) {
 	}
 	if _, err := sparcs.EvaluatePolicies([]string{"lottery"}, workloads, sparcs.EvaluateOptions{}); err == nil {
 		t.Fatal("unknown policy should error")
+	}
+}
+
+// TestFFTMeasuredColumnRoundTrip is the acceptance test for the
+// capture→replay loop: the FFT case study's measured bank-M1 request
+// stream converts into a workload column (backed by workload.NewTrace)
+// and evaluates in the same grid as synthetic shapes, under policies
+// the capture never ran.
+func TestFFTMeasuredColumnRoundTrip(t *testing.T) {
+	col, err := sparcs.FFTMeasuredColumn(2, 6, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Name != "fft:M1" {
+		t.Fatalf("column name %q, want fft:M1 (the Arb6 bank)", col.Name)
+	}
+	cells, err := sparcs.EvaluatePolicyColumns(
+		[]string{"rr", "fifo", "preemptive:4"},
+		[]sparcs.WorkloadColumn{col, sparcs.SpecWorkloadColumn("bernoulli:0.30")},
+		sparcs.EvaluateOptions{N: 6, Cycles: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cells))
+	}
+	for i, m := range cells {
+		if m.Violation != "" {
+			t.Errorf("cell %d (%s × %s): %s", i, m.Policy, m.Workload, m.Violation)
+		}
+	}
+	// The measured stream carries real demand: every policy's fft:M1
+	// cell must show traffic, and being replayed open-loop under the
+	// same N, demand is identical across policies in the column.
+	fftDemand := cells[0].Demand()
+	if fftDemand <= 0 {
+		t.Fatal("measured FFT column shows no demand")
+	}
+	for i := 0; i < len(cells); i += 2 {
+		if cells[i].Workload != "fft:M1" {
+			t.Fatalf("cell %d workload %q, want fft:M1", i, cells[i].Workload)
+		}
+		if cells[i].Demand() != fftDemand {
+			t.Errorf("fft:M1 demand differs across policies: %g vs %g", cells[i].Demand(), fftDemand)
+		}
+	}
+	table := sparcs.FormatPolicyTable(cells)
+	for _, want := range []string{"fft:M1", "p50", "p99"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// A width mismatch is a clean error, not a silent truncation.
+	if _, err := sparcs.FFTMeasuredColumn(2, 16, "rr"); err == nil {
+		t.Fatal("no 16-line arbiter exists; expected an error")
+	}
+}
+
+// TestContentionPublicAPI drives background contention through the
+// facade: the FFT under bursty phantoms still verifies its output, the
+// run reports phantom stats, and the grammar round-trips.
+func TestContentionPublicAPI(t *testing.T) {
+	specs, err := sparcs.ParseContention("M1=bursty/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Resource != "M1" || specs[0].Workload != "bursty" || specs[0].Lines != 2 {
+		t.Fatalf("parsed %+v", specs)
+	}
+	g := fft.Taskgraph()
+	opts := core.Options{
+		Partition:  partition.Options{FixedStages: fft.PaperStages()},
+		Contention: specs,
+	}
+	d, err := sparcs.Compile(g, sparcs.Wildforce(), fft.Programs(2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := sim.NewMemory()
+	in := fft.LoadInput(mem, 2, 42)
+	res, err := sparcs.Simulate(d, mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fft.CheckOutput(mem, in); err != nil {
+		t.Fatalf("FFT output corrupted by background contention: %v", err)
+	}
+	found := false
+	for _, ss := range res.Stages {
+		if cs := ss.Stats.Contention["M1"]; cs != nil {
+			found = true
+			if len(cs.Grants) != 2 {
+				t.Fatalf("phantom lines %d, want 2", len(cs.Grants))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stage reported contention stats for M1")
+	}
+	if _, err := sparcs.ParseContention("M1=notashape"); err == nil {
+		t.Fatal("bad workload shape should error")
+	}
+	if _, err := sparcs.ParseContention("M1"); err == nil {
+		t.Fatal("missing '=' should error")
 	}
 }
