@@ -15,8 +15,9 @@
 //	sparcs -mode arbbench               # full policy×workload grid
 //	sparcs -mode arbbench -n 8 -cycles 1000000 -policies rr,wrr:3 -workloads hog
 //
-//	sparcs -contend M1=bursty/2         # FFT under background contention
-//	sparcs -mode arbbench -fft-column   # measured FFT traffic as a grid column
+//	sparcs -contend M1=bursty/1              # FFT under background contention
+//	sparcs -contend M1+M3=corr:0.25/1        # correlated hold-M1-wait-M3 source
+//	sparcs -mode arbbench -fft-column        # measured FFT traffic as a grid column
 package main
 
 import (
@@ -27,11 +28,8 @@ import (
 	"strings"
 
 	"sparcs"
-	"sparcs/internal/arbinsert"
 	"sparcs/internal/arbiter"
-	"sparcs/internal/core"
 	"sparcs/internal/fft"
-	"sparcs/internal/rc"
 	"sparcs/internal/sim"
 	"sparcs/internal/workload"
 )
@@ -44,7 +42,7 @@ func main() {
 	conservative := flag.Bool("conservative", false, "disable dependency-based arbiter elision")
 	policy := flag.String("policy", "round-robin", "arbitration policy spec (rr, fifo, priority, random:<seed>, fsm, netlist:<encoding>, preemptive:<maxHold>, wrr:<weights>, hier:<groups>)")
 	m := flag.Int("m", 2, "accesses per grant before the request is released (Figure 8)")
-	contend := flag.String("contend", "", "flow: background contention specs, resource=workload[/lines] comma-separated (e.g. M1=bursty/2)")
+	contend := flag.String("contend", "", "flow: background contention specs, comma-separated: resource=workload[/lines] (e.g. M1=bursty/1) or correlated res1+res2=workload[/lanes] (e.g. M1+M3=corr:0.25/1)")
 	contendSeed := flag.Uint64("contend-seed", 1, "flow: random seed for the background generators")
 	maxCycles := flag.Int("max-cycles", 0, "flow: per-stage cycle watchdog (0 = 10M, or 1M when -contend is set)")
 	n := flag.Int("n", 6, "arbbench: request lines per arbiter")
@@ -153,67 +151,52 @@ func runFlow(o flowOptions) error {
 	if o.design != "fft" {
 		return fmt.Errorf("unknown design %q (only fft is built in)", o.design)
 	}
-	// Validate the policy and contention specs up front, before any
-	// compilation starts, so a bad name is a normal error instead of a
-	// log.Fatal from library code mid-flow.
-	spec, err := arbiter.ParsePolicySpec(o.policy)
-	if err != nil {
-		return err
-	}
-	contention, err := core.ParseContention(o.contend)
-	if err != nil {
+	// Validate the policy spec up front: WithPolicy only checks it at
+	// Run time, after the compilation report has already printed. The
+	// contention spec needs no guard — WithExpectedContention parses it
+	// inside Build, before any output.
+	if _, err := arbiter.ParsePolicySpec(o.policy); err != nil {
 		return err
 	}
 
-	g := fft.Taskgraph()
-	board := rc.Wildforce()
-	opts := core.Options{
-		Insert:            arbinsert.Options{M: o.m, Conservative: o.conservative},
-		Contention:        contention,
-		ContentionSeed:    o.contendSeed,
-		MaxCyclesPerStage: o.maxCycles,
+	// Build once: the compiled design is fixed, and the expected
+	// background load prices every arbiter at its simulated width in the
+	// memory mapper's area model (contention-aware partitioning).
+	build := []sparcs.BuildOption{
+		sparcs.WithAccessesPerGrant(o.m),
+		sparcs.WithExpectedContention(o.contend),
 	}
-	if opts.MaxCyclesPerStage == 0 && len(contention) > 0 {
+	if o.conservative {
+		build = append(build, sparcs.WithConservativeArbitration())
+	}
+	var sys *sparcs.System
+	var err error
+	if o.auto {
+		sys, err = sparcs.Build(fft.Taskgraph(), sparcs.Wildforce(), fft.Programs(o.tiles), build...)
+	} else {
+		sys, err = sparcs.FFTSystem(o.tiles, build...)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(sys.Report())
+
+	maxCycles := o.maxCycles
+	if maxCycles == 0 && strings.TrimSpace(o.contend) != "" {
 		// Background hogs can starve the design forever; bound the
-		// watchdog so a starved run reports quickly instead of tracing
+		// watchdog so a starved run reports quickly instead of spinning
 		// ten million cycles.
-		opts.MaxCyclesPerStage = 1_000_000
+		maxCycles = 1_000_000
 	}
-	if !o.auto {
-		opts.Partition.FixedStages = fft.PaperStages()
-	}
-
-	d, err := core.Compile(g, board, fft.Programs(o.tiles), opts)
-	if err != nil {
-		return err
-	}
-	// The compiled design fixes every arbiter's size — including the
-	// phantom lines contention adds — so size-dependent constraints
-	// (wrr weight counts, hier group divisibility) fail cleanly before
-	// simulation.
-	phantom := core.PhantomLines(contention)
-	for _, sp := range d.Stages {
-		for _, a := range sp.Inserted.Arbiters {
-			lines := a.N() + phantom[a.Resource]
-			if _, err := spec.New(lines); err != nil {
-				return fmt.Errorf("policy %s unusable for the %d-line arbiter on %s (%d tasks + %d phantom): %w",
-					spec, lines, a.Resource, a.N(), phantom[a.Resource], err)
-			}
-		}
-	}
-	opts.NewPolicy = func(n int) arbiter.Policy {
-		p, err := spec.New(n)
-		if err != nil {
-			// Unreachable: every arbiter size was validated above.
-			panic(fmt.Sprintf("policy %s at N=%d: %v", spec, n, err))
-		}
-		return p
-	}
-	fmt.Print(d.Report())
-
-	mem := sim.NewMemory()
-	in := fft.LoadInput(mem, o.tiles, 42)
-	res, err := core.Simulate(d, mem, opts)
+	mem := sparcs.NewMemory()
+	in := sparcs.LoadFFTInput(mem, o.tiles, 42)
+	res, err := sys.Run(
+		sparcs.WithPolicy(o.policy),
+		sparcs.WithContention(o.contend),
+		sparcs.WithSeed(o.contendSeed),
+		sparcs.WithMaxCycles(maxCycles),
+		sparcs.WithMemory(mem),
+	)
 	if err != nil {
 		return err
 	}
@@ -230,7 +213,7 @@ func runFlow(o flowOptions) error {
 		fmt.Println()
 		printContention(ss.Stats)
 	}
-	if err := fft.CheckOutput(mem, in); err != nil {
+	if err := sparcs.CheckFFTOutput(mem, in); err != nil {
 		fmt.Println("output check: FAIL:", err)
 	} else {
 		fmt.Println("output check: PASS (hardware memory image == fixed-point 2-D FFT)")
@@ -246,19 +229,23 @@ func runFlow(o flowOptions) error {
 }
 
 // printContention reports the background phantom lines' grants and
-// waits for one stage, in sorted resource order.
+// waits for one stage, in sorted resource order, followed by every
+// correlated source's cross-resource hold-and-wait statistics.
 func printContention(st *sim.Stats) {
-	if len(st.Contention) == 0 {
-		return
+	if len(st.Contention) > 0 {
+		resources := make([]string, 0, len(st.Contention))
+		for r := range st.Contention {
+			resources = append(resources, r)
+		}
+		sort.Strings(resources)
+		for _, r := range resources {
+			cs := st.Contention[r]
+			fmt.Printf("  background on %s: grants %v, wait cycles %v\n", r, cs.Grants, cs.Waits)
+		}
 	}
-	resources := make([]string, 0, len(st.Contention))
-	for r := range st.Contention {
-		resources = append(resources, r)
-	}
-	sort.Strings(resources)
-	for _, r := range resources {
-		cs := st.Contention[r]
-		fmt.Printf("  background on %s: grants %v, wait cycles %v\n", r, cs.Grants, cs.Waits)
+	for _, sh := range st.Shared {
+		fmt.Printf("  correlated %s over %s: grants %v, waits %v, hold-and-wait %d, all-held %d\n",
+			sh.Name, strings.Join(sh.Resources, "+"), sh.Grants, sh.Waits, sh.HoldWait, sh.AllHeld)
 	}
 }
 

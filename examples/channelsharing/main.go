@@ -8,10 +8,9 @@ import (
 	"fmt"
 	"log"
 
+	"sparcs"
 	"sparcs/internal/behav"
-	"sparcs/internal/core"
 	"sparcs/internal/rc"
-	"sparcs/internal/sim"
 	"sparcs/internal/taskgraph"
 	"sparcs/internal/xc4000"
 )
@@ -44,15 +43,16 @@ func main() {
 	}
 
 	// A two-FPGA board forces both logical channels onto the single
-	// PE1-PE2 physical connection, triggering the merge.
+	// PE1-PE2 physical connection, triggering the merge. Build compiles
+	// once and returns the System handle experiments run against.
 	board := rc.Generic(2, xc4000.XC4013E, 32*1024, 36, 36)
-	d, err := core.Compile(g, board, programs, core.Options{})
+	sys, err := sparcs.Build(g, board, programs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(d.Report())
+	fmt.Print(sys.Report())
 
-	stage := d.Stages[0]
+	stage := sys.Design().Stages[0]
 	for _, pc := range stage.Routes {
 		fmt.Printf("physical channel %s: %d pins, carries %v", pc.Name, pc.Pins, pc.Logical)
 		if pc.Arbiter != nil {
@@ -61,8 +61,8 @@ func main() {
 		fmt.Println()
 	}
 
-	mem := sim.NewMemory()
-	res, err := core.Simulate(d, mem, core.Options{})
+	mem := sparcs.NewMemory()
+	res, err := sys.Run(sparcs.WithMemory(mem))
 	if err != nil {
 		log.Fatal(err)
 	}

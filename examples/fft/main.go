@@ -1,9 +1,9 @@
-// The paper's Section 5 case study end to end: the 4x4-pixel 2-D FFT
-// taskgraph partitioned onto the Wildforce board, arbiters inserted
-// automatically, all three temporal partitions simulated cycle-accurately,
-// the hardware memory image verified against the fixed-point FFT
-// reference, and the 512x512-image timing compared with the Pentium-150
-// software baseline.
+// The paper's Section 5 case study end to end, on the compile-once /
+// experiment-many System API: the 4x4-pixel 2-D FFT taskgraph is
+// partitioned onto the Wildforce board ONCE, then three experiments run
+// against the same compiled design — the paper's baseline, a policy
+// swap, and a correlated hold-M1-while-waiting-on-M3 background source —
+// without recompiling anything.
 package main
 
 import (
@@ -14,28 +14,60 @@ import (
 )
 
 func main() {
-	cs, err := sparcs.RunFFTCaseStudy(8)
+	const tiles = 8
+	sys, err := sparcs.FFTSystem(tiles)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(cs.Report)
+	fmt.Print(sys.Report())
 
-	fmt.Println("== simulation ==")
-	for si, ss := range cs.Result.Stages {
+	// Experiment 1: the paper's baseline (behavioral round-robin).
+	mem := sparcs.NewMemory()
+	in := sparcs.LoadFFTInput(mem, tiles, 42)
+	base, err := sys.Run(sparcs.WithMemory(mem))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== baseline (round-robin) ==")
+	for si, ss := range base.Stages {
 		fmt.Printf("temporal partition #%d: %d cycles, %d grants, violations: %d\n",
 			si, ss.Stats.Cycles, totalGrants(ss.Stats.GrantsByRes), len(ss.Stats.Violations))
 	}
-	if cs.OutputOK {
+	if sparcs.CheckFFTOutput(mem, in) == nil {
 		fmt.Println("output check: PASS — hardware memory image equals the 2-D FFT reference")
 	} else {
 		fmt.Println("output check: FAIL")
 	}
 
+	// Experiment 2: same silicon, different arbitration policy.
+	prio, err := sys.Run(sparcs.WithPolicy("priority"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== policy swap ==\nstatic priority: %d cycles (baseline %d)\n",
+		prio.TotalCycles, base.TotalCycles)
+
+	// Experiment 3: correlated background load — one source holds the
+	// contended M1 bank while it waits for M3, the hold-and-wait pattern
+	// a per-resource phantom cannot express.
+	corr, err := sys.Run(sparcs.WithContention("M1+M3=corr:0.25/1"), sparcs.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== correlated contention (M1+M3=corr:0.25/1) ==\n")
+	fmt.Printf("total cycles: %d (baseline %d)\n", corr.TotalCycles, base.TotalCycles)
+	for _, sh := range corr.SharedStats() {
+		fmt.Printf("source %s over %v: grants %v, waits %v, hold-and-wait %d, all-held %d\n",
+			sh.Name, sh.Resources, sh.Grants, sh.Waits, sh.HoldWait, sh.AllHeld)
+	}
+
+	cpt := float64(base.TotalCycles) / float64(tiles)
+	hw, sw := sparcs.FFTHardwareSeconds(cpt, 512), sparcs.FFTSoftwareSeconds(512)
 	fmt.Println("\n== 512x512 image timing (paper: HW 4.4 s, SW 6.8 s) ==")
-	fmt.Printf("cycles/tile (3 partitions):  %8.1f\n", cs.CyclesPerTile)
-	fmt.Printf("hardware @ 6 MHz:            %8.2f s\n", cs.HWSeconds)
-	fmt.Printf("software (Pentium-150 model):%8.2f s\n", cs.SWSeconds)
-	fmt.Printf("hardware speedup:            %8.2fx\n", cs.Speedup)
+	fmt.Printf("cycles/tile (3 partitions):  %8.1f\n", cpt)
+	fmt.Printf("hardware @ 6 MHz:            %8.2f s\n", hw)
+	fmt.Printf("software (Pentium-150 model):%8.2f s\n", sw)
+	fmt.Printf("hardware speedup:            %8.2fx\n", sw/hw)
 }
 
 func totalGrants(m map[string]int) int {

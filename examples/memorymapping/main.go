@@ -9,11 +9,9 @@ import (
 	"fmt"
 	"log"
 
-	"sparcs/internal/arbinsert"
+	"sparcs"
 	"sparcs/internal/behav"
-	"sparcs/internal/core"
 	"sparcs/internal/rc"
-	"sparcs/internal/sim"
 	"sparcs/internal/taskgraph"
 	"sparcs/internal/xc4000"
 )
@@ -82,34 +80,33 @@ func main() {
 	board := rc.Generic(2, xc4000.XC4013E, 16*1024, 36, 36)
 	g := buildGraph()
 
-	d, err := core.Compile(g, board, programs(), core.Options{})
+	sys, err := sparcs.Build(g, board, programs())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(d.Report())
+	fmt.Print(sys.Report())
 
-	res, err := core.Simulate(d, sim.NewMemory(), core.Options{})
+	res, err := sys.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwith automatic arbitration: %d cycles, %d violations\n",
 		res.TotalCycles, len(res.Violations()))
 
-	// Ablation: strip the arbiters by compiling conservatively, then
-	// deleting the inserted protocol — the simulator flags every
-	// simultaneous bank access.
-	opts := core.Options{Insert: arbinsert.Options{Conservative: true}}
-	d2, err := core.Compile(g, board, programs(), opts)
+	// Ablation: strip the arbiters by building conservatively, then
+	// deleting the inserted protocol from the compiled design — the
+	// simulator flags every simultaneous bank access.
+	sys2, err := sparcs.Build(g, board, programs(), sparcs.WithConservativeArbitration())
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, sp := range d2.Stages {
+	for _, sp := range sys2.Design().Stages {
 		for name := range sp.Inserted.Programs {
 			sp.Inserted.Programs[name] = stripProtocol(sp.Inserted.Programs[name])
 		}
 		sp.Inserted.Arbiters = nil
 	}
-	res2, err := core.Simulate(d2, sim.NewMemory(), opts)
+	res2, err := sys2.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,8 @@
 // Policy ablation (paper Section 4): round-robin vs FIFO vs static
-// priority vs random under sustained contention. Round-robin is the only
-// policy that both bounds worst-case waiting at N-1 grant episodes and
-// stays trivially cheap in hardware — the paper's selection argument.
+// priority vs random under sustained contention, on the evaluation-grid
+// API. Round-robin is the only policy that both bounds worst-case
+// waiting at N-1 grant episodes (the worst_ep column) and stays
+// trivially cheap in hardware — the paper's selection argument.
 package main
 
 import (
@@ -9,59 +10,24 @@ import (
 	"log"
 
 	"sparcs"
-	"sparcs/internal/arbiter"
 )
 
 func main() {
 	const n = 6
-	const cycles = 5000
 
-	fmt.Printf("%-12s %-14s %-14s %-12s\n", "policy", "grants/task", "worst-wait", "starved?")
-	for _, name := range []string{"round-robin", "fifo", "priority", "random"} {
-		pol, err := sparcs.NewPolicy(name, n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		grants := make([]int, n)
-		held := make([]int, n)
-		req := make([]bool, n)
-		for i := range req {
-			req[i] = true
-		}
-		var trace []arbiter.TraceStep
-		for c := 0; c < cycles; c++ {
-			g := pol.Step(req)
-			trace = append(trace, arbiter.TraceStep{
-				Req:   append([]bool(nil), req...),
-				Grant: append([]bool(nil), g...),
-			})
-			for i := range g {
-				if g[i] {
-					grants[i]++
-					held[i]++
-				}
-				// M=2 protocol: release after two held cycles.
-				if held[i] >= 2 {
-					req[i] = false
-					held[i] = 0
-				} else {
-					req[i] = true
-				}
-			}
-		}
-		worst := 0
-		starved := false
-		for t, w := range arbiter.MaxWaitEpisodes(n, trace) {
-			if w > worst {
-				worst = w
-			}
-			if grants[t] == 0 {
-				starved = true
-			}
-		}
-		fmt.Printf("%-12s %-14s %-14s %-12v\n",
-			name, spread(grants), fmt.Sprintf("%d episodes", worst), starved)
+	// Saturated load (every task always requesting, the hog shape adds an
+	// adversarial never-releasing task) exposes each policy's fairness:
+	// jain collapses and max_wait explodes for priority/random, while
+	// round-robin's worst_ep stays at the N-1 bound.
+	cells, err := sparcs.EvaluatePolicies(
+		[]string{"round-robin", "fifo", "priority", "random:1"},
+		[]string{"bernoulli:0.90", "hog"},
+		sparcs.EvaluateOptions{N: n, Cycles: 50_000, Seed: 1},
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Print(sparcs.FormatPolicyTable(cells))
 
 	fmt.Println("\nround-robin bound: worst wait <= N-1 =", n-1, "episodes (Section 4.1)")
 	fmt.Println("hardware cost (Synplify one-hot):")
@@ -72,17 +38,4 @@ func main() {
 		}
 		fmt.Printf("  N=%-2d  %3d CLBs  %5.1f MHz\n", size, r.CLBs, r.MaxMHz)
 	}
-}
-
-func spread(grants []int) string {
-	lo, hi := grants[0], grants[0]
-	for _, g := range grants[1:] {
-		if g < lo {
-			lo = g
-		}
-		if g > hi {
-			hi = g
-		}
-	}
-	return fmt.Sprintf("%d..%d", lo, hi)
 }

@@ -57,6 +57,38 @@ func main() {
 		}
 		fmt.Printf("%-22s %3d CLBs  %5.1f MHz\n", r.Label(), r.CLBs, r.MaxMHz)
 	}
+
+	// Compile-once / experiment-many: build the Section 5 FFT system one
+	// time, then run independent experiments against the same compiled
+	// design. A never-releasing background hog starves the non-preemptive
+	// round-robin forever (the watchdog cuts it off); the preemptive
+	// variant revokes the hog and the design completes.
+	fmt.Println("\n== system experiments (compile once, run many) ==")
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range []struct {
+		label string
+		opts  []sparcs.RunOption
+	}{
+		{"round-robin,  quiet", nil},
+		{"round-robin,  M1 hog", []sparcs.RunOption{
+			sparcs.WithContention("M1=hog/1"), sparcs.WithMaxCycles(100_000)}},
+		{"preemptive:4, M1 hog", []sparcs.RunOption{
+			sparcs.WithPolicy("preemptive:4"),
+			sparcs.WithContention("M1=hog/1"), sparcs.WithMaxCycles(100_000)}},
+	} {
+		res, err := sys.Run(run.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "completed"
+		if len(res.Violations()) > 0 {
+			verdict = "STARVED (watchdog)"
+		}
+		fmt.Printf("%-22s %6d cycles, %s\n", run.label, res.TotalCycles, verdict)
+	}
 }
 
 func bits(v []bool) string {

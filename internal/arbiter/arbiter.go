@@ -22,6 +22,7 @@
 package arbiter
 
 import (
+	"errors"
 	"fmt"
 
 	"sparcs/internal/fsm"
@@ -36,13 +37,30 @@ const (
 	MaxN = 16
 )
 
+// ErrOutOfRange is the sentinel wrapped by every size-range rejection in
+// this package; test with errors.Is. RangeError carries the offending
+// size and renders the canonical message.
+var ErrOutOfRange = errors.New("arbiter: N out of range")
+
+type rangeError struct{ n int }
+
+func (e *rangeError) Error() string {
+	return fmt.Sprintf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, e.n)
+}
+
+func (e *rangeError) Unwrap() error { return ErrOutOfRange }
+
+// RangeError returns the error every constructor reports for an arbiter
+// size outside [MinN, MaxN]. It wraps ErrOutOfRange.
+func RangeError(n int) error { return &rangeError{n: n} }
+
 // Machine builds the Figure 5 round-robin arbiter FSM for n tasks.
 //
 // State order is the paper's Φ = C1..CN, F1..FN with reset state F1 (no
 // holder, task 1 has priority). Inputs are R1..RN, outputs G1..GN.
 func Machine(n int) (*fsm.Machine, error) {
 	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+		return nil, RangeError(n)
 	}
 	m := &fsm.Machine{
 		Name:  fmt.Sprintf("rr_arbiter_%d", n),

@@ -34,7 +34,7 @@ type Hierarchical struct {
 // equal clusters of consecutive tasks; groups must divide n.
 func NewHierarchical(n, groups int) (*Hierarchical, error) {
 	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+		return nil, RangeError(n)
 	}
 	if groups < 1 || groups > n {
 		return nil, fmt.Errorf("arbiter: hier group count must be in [1,%d], got %d", n, groups)

@@ -26,7 +26,7 @@ type PreemptiveRoundRobin struct {
 // at least 1 (grants are revoked after maxHold consecutive cycles).
 func NewPreemptiveRoundRobin(n, maxHold int) (*PreemptiveRoundRobin, error) {
 	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+		return nil, RangeError(n)
 	}
 	if maxHold < 1 {
 		return nil, fmt.Errorf("arbiter: maxHold must be >= 1, got %d", maxHold)

@@ -166,7 +166,7 @@ func (sp *PolicySpec) String() string {
 // size-dependent constraints (weight counts, group divisibility).
 func (sp *PolicySpec) New(n int) (Policy, error) {
 	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+		return nil, RangeError(n)
 	}
 	switch sp.Kind {
 	case "round-robin":

@@ -25,7 +25,7 @@ type WeightedRoundRobin struct {
 // must hold one positive quantum per task.
 func NewWeightedRoundRobin(n int, weights []int) (*WeightedRoundRobin, error) {
 	if n < MinN || n > MaxN {
-		return nil, fmt.Errorf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, n)
+		return nil, RangeError(n)
 	}
 	if len(weights) != n {
 		return nil, fmt.Errorf("arbiter: got %d weights for %d tasks", len(weights), n)

@@ -108,10 +108,7 @@ func stageContention(sp *StagePlan, specs []ContentionSpec, seed uint64) ([]sim.
 	if seed == 0 {
 		seed = 1
 	}
-	arbitrated := map[string]bool{}
-	for _, a := range sp.Inserted.Arbiters {
-		arbitrated[a.Resource] = true
-	}
+	arbitrated := stageArbitrated(sp)
 	var out []sim.ContentionSource
 	for i, cs := range specs {
 		if !arbitrated[cs.Resource] {
@@ -135,8 +132,8 @@ func validateContention(d *Design, specs []ContentionSpec) error {
 	}
 	arbitrated := map[string]bool{}
 	for _, sp := range d.Stages {
-		for _, a := range sp.Inserted.Arbiters {
-			arbitrated[a.Resource] = true
+		for r := range stageArbitrated(sp) {
+			arbitrated[r] = true
 		}
 	}
 	for _, cs := range specs {

@@ -39,9 +39,20 @@ type Options struct {
 	// NewPolicy then receives the widened line count (members plus
 	// phantom lines) for those arbiters.
 	Contention []ContentionSpec
+	// Shared injects correlated multi-resource background sources: one
+	// generator spans several arbiters with hold-A-while-waiting-on-B
+	// semantics, wired into every stage that arbitrates ALL its
+	// resources (see SharedContentionSpec). Cross-resource overlap and
+	// wait statistics land in each stage's sim.Stats.Shared.
+	Shared []SharedContentionSpec
 	// ContentionSeed seeds the background generators' random streams
 	// (0 means 1). Runs are deterministic for a given seed.
 	ContentionSeed uint64
+	// CaptureOnly restricts per-cycle arbiter trace recording to the
+	// named resources when non-nil (DisableTraces false): a run that
+	// only needs one resource's request stream pays for one. Nil keeps
+	// the historical record-everything default.
+	CaptureOnly []string
 }
 
 // StagePlan is one compiled temporal partition.
@@ -61,6 +72,15 @@ type Design struct {
 // Compile runs partitioning, channel routing, and arbiter insertion.
 // programs supplies the raw (unarbitrated) behavior of every task.
 func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]behav.Program, opts Options) (*Design, error) {
+	// Contention-aware partitioning: unless the caller set an explicit
+	// estimate, price each arbiter at the width it will be SIMULATED at
+	// (members + phantom lines + shared lanes), not its member width, so
+	// the memory mapper's area model matches the widened hardware.
+	if opts.Partition.ExpectedContention == nil {
+		if extra := expectedLines(opts); len(extra) > 0 {
+			opts.Partition.ExpectedContention = extra
+		}
+	}
 	stages, err := partition.Temporal(g, board, opts.Partition)
 	if err != nil {
 		return nil, err
@@ -126,9 +146,16 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 	if err := validateContention(d, opts.Contention); err != nil {
 		return nil, err
 	}
+	if err := validateShared(d, opts.Shared); err != nil {
+		return nil, err
+	}
 	res := &RunResult{Memory: mem}
 	for _, sp := range d.Stages {
 		contention, err := stageContention(sp, opts.Contention, opts.ContentionSeed)
+		if err != nil {
+			return nil, err
+		}
+		shared, err := stageShared(sp, opts.Shared, opts.ContentionSeed, len(opts.Contention))
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +170,9 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 			MaxCycles:         opts.MaxCyclesPerStage,
 			Memory:            mem,
 			DisableTraces:     opts.DisableTraces,
+			CaptureOnly:       opts.CaptureOnly,
 			Contention:        contention,
+			Shared:            shared,
 		}
 		stats, err := sim.Run(cfg)
 		if err != nil {

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sparcs/internal/sim"
+	"sparcs/internal/workload"
+)
+
+// SharedContentionSpec asks Simulate to inject one correlated
+// multi-resource background source: a single workload.SharedSource
+// claiming Lanes request lines on EACH of the named arbiters, with
+// hold-A-while-waiting-on-B acquisition in Resources order. The textual
+// grammar (ParseSharedContention) is
+//
+//	res1+res2[+...]=workload[/lanes]
+//
+// comma-separated, e.g. "M1+M3=corr:0.25/2" — the workload half is a
+// workload.NewSharedGenerator spec ("corr[:p[:hold]]").
+type SharedContentionSpec struct {
+	// Resources names the arbitrated resources in acquisition order; at
+	// least two, all distinct.
+	Resources []string
+	// Workload is the shared generator spec ("corr:0.10", ...).
+	Workload string
+	// Lanes is the number of independent correlated jobs; 0 means 1.
+	Lanes int
+}
+
+// String renders the canonical textual form of the spec.
+func (s SharedContentionSpec) String() string {
+	return fmt.Sprintf("%s=%s/%d", strings.Join(s.Resources, "+"), s.Workload, s.lanes())
+}
+
+func (s SharedContentionSpec) lanes() int {
+	if s.Lanes == 0 {
+		return 1
+	}
+	return s.Lanes
+}
+
+// newGen constructs a fresh generator for the spec (each stage and each
+// run needs its own stateful instance).
+func (s SharedContentionSpec) newGen(seed uint64) (*workload.SharedSource, error) {
+	return workload.NewSharedGenerator(s.Workload, s.Resources, s.lanes(), seed)
+}
+
+// ParseSharedContention parses a comma-separated list of shared
+// contention specs of the grammar documented on SharedContentionSpec.
+func ParseSharedContention(s string) ([]SharedContentionSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []SharedContentionSpec
+	for _, entry := range strings.Split(s, ",") {
+		cs, err := parseSharedEntry(strings.TrimSpace(entry))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// parseSharedEntry parses one res1+res2=workload[/lanes] entry,
+// validating the workload half immediately.
+func parseSharedEntry(entry string) (SharedContentionSpec, error) {
+	eq := strings.IndexByte(entry, '=')
+	if eq <= 0 || eq == len(entry)-1 {
+		return SharedContentionSpec{}, fmt.Errorf("core: shared contention entry %q is not res1+res2=workload[/lanes]", entry)
+	}
+	cs := SharedContentionSpec{Resources: strings.Split(entry[:eq], "+"), Workload: entry[eq+1:], Lanes: 1}
+	if sl := strings.LastIndexByte(cs.Workload, '/'); sl >= 0 {
+		v, err := strconv.Atoi(cs.Workload[sl+1:])
+		if err != nil || v < 1 {
+			return SharedContentionSpec{}, fmt.Errorf("core: shared contention entry %q: lane count %q must be a positive integer", entry, cs.Workload[sl+1:])
+		}
+		cs.Lanes = v
+		cs.Workload = cs.Workload[:sl]
+	}
+	if _, err := cs.newGen(1); err != nil {
+		return SharedContentionSpec{}, fmt.Errorf("core: shared contention entry %q: %w", entry, err)
+	}
+	return cs, nil
+}
+
+// ParseMixedContention parses a comma-separated contention list mixing
+// both grammars: entries whose resource half contains '+' become
+// correlated SharedContentionSpecs, the rest single-resource
+// ContentionSpecs. This is the one-flag front end cmd/sparcs and the
+// System API expose ("M1=hog/2,M1+M3=corr:0.25").
+func ParseMixedContention(s string) ([]ContentionSpec, []SharedContentionSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, nil
+	}
+	var single []ContentionSpec
+	var shared []SharedContentionSpec
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		eq := strings.IndexByte(entry, '=')
+		if eq > 0 && strings.ContainsRune(entry[:eq], '+') {
+			cs, err := parseSharedEntry(entry)
+			if err != nil {
+				return nil, nil, err
+			}
+			shared = append(shared, cs)
+			continue
+		}
+		cs, err := ParseContention(entry)
+		if err != nil {
+			return nil, nil, err
+		}
+		single = append(single, cs...)
+	}
+	return single, shared, nil
+}
+
+// SharedLines sums the correlated phantom lines the specs add per
+// resource, the shared-source counterpart of PhantomLines.
+func SharedLines(specs []SharedContentionSpec) map[string]int {
+	extra := map[string]int{}
+	for _, cs := range specs {
+		for _, r := range cs.Resources {
+			extra[r] += cs.lanes()
+		}
+	}
+	return extra
+}
+
+// expectedLines merges PhantomLines and SharedLines: the per-resource
+// extra request lines the options' background load adds on top of the
+// member counts, which is what the partitioner's arbiter-area model
+// should price.
+func expectedLines(opts Options) map[string]int {
+	extra := PhantomLines(opts.Contention)
+	for r, n := range SharedLines(opts.Shared) {
+		extra[r] += n
+	}
+	return extra
+}
+
+// stageArbitrated returns the set of resources the stage arbitrates —
+// the predicate every contention/wiring/width decision keys on.
+func stageArbitrated(sp *StagePlan) map[string]bool {
+	arbitrated := map[string]bool{}
+	for _, a := range sp.Inserted.Arbiters {
+		arbitrated[a.Resource] = true
+	}
+	return arbitrated
+}
+
+// hostsAll reports whether the set covers every listed resource.
+func hostsAll(arbitrated map[string]bool, resources []string) bool {
+	for _, r := range resources {
+		if !arbitrated[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// stageShared builds the sim shared sources for one stage. A correlated
+// source only means something when every resource it spans is arbitrated
+// together, so it wires into exactly the stages containing ALL its
+// resources. Seeds continue the contention index sequence (shifted by
+// nSingle) so adding a shared source never reseeds the single-resource
+// ones.
+func stageShared(sp *StagePlan, specs []SharedContentionSpec, seed uint64, nSingle int) ([]sim.SharedSource, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	arbitrated := stageArbitrated(sp)
+	var out []sim.SharedSource
+	for i, cs := range specs {
+		if !hostsAll(arbitrated, cs.Resources) {
+			continue
+		}
+		gen, err := cs.newGen(seed + uint64(nSingle+i+1)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("core: shared contention %s: %w", cs, err)
+		}
+		out = append(out, sim.SharedSource{Gen: gen})
+	}
+	return out, nil
+}
+
+// validateShared rejects specs spanning resources that are never
+// arbitrated together: a correlated source that no stage can host would
+// silently report a contention-free run.
+func validateShared(d *Design, specs []SharedContentionSpec) error {
+	for _, cs := range specs {
+		if len(cs.Resources) < 2 {
+			return fmt.Errorf("core: shared contention %s spans %d resource(s); need at least 2", cs, len(cs.Resources))
+		}
+		hosted := false
+		for _, sp := range d.Stages {
+			if hostsAll(stageArbitrated(sp), cs.Resources) {
+				hosted = true
+				break
+			}
+		}
+		if !hosted {
+			var stages []string
+			for si, sp := range d.Stages {
+				var res []string
+				for _, a := range sp.Inserted.Arbiters {
+					res = append(res, a.Resource)
+				}
+				sort.Strings(res)
+				stages = append(stages, fmt.Sprintf("#%d:{%s}", si, strings.Join(res, ",")))
+			}
+			return fmt.Errorf("core: shared contention %s spans resources no single stage arbitrates together (stages: %s)",
+				cs, strings.Join(stages, " "))
+		}
+	}
+	return nil
+}
+
+// StageWidths reports, per stage, the request-line width every arbiter
+// will be simulated at under the options' contention — member lines plus
+// single-resource phantom lines plus the shared lanes of every source
+// the stage hosts. This is what Options.NewPolicy will be called with;
+// callers use it to validate size-dependent policies before running.
+func StageWidths(d *Design, opts Options) []map[string]int {
+	phantom := PhantomLines(opts.Contention)
+	out := make([]map[string]int, len(d.Stages))
+	for si, sp := range d.Stages {
+		widths := map[string]int{}
+		arbitrated := stageArbitrated(sp)
+		for _, a := range sp.Inserted.Arbiters {
+			widths[a.Resource] = a.N() + phantom[a.Resource]
+		}
+		for _, cs := range opts.Shared {
+			if !hostsAll(arbitrated, cs.Resources) {
+				continue
+			}
+			for _, r := range cs.Resources {
+				widths[r] += cs.lanes()
+			}
+		}
+		out[si] = widths
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparcs/internal/arbinsert"
+	"sparcs/internal/partition"
+)
+
+func TestParseSharedContentionGrammar(t *testing.T) {
+	specs, err := ParseSharedContention("M1+M3=corr:0.25/2, M1+M2+M3=corr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	if !reflect.DeepEqual(specs[0].Resources, []string{"M1", "M3"}) || specs[0].Workload != "corr:0.25" || specs[0].Lanes != 2 {
+		t.Fatalf("spec 0 = %+v", specs[0])
+	}
+	if got := specs[0].String(); got != "M1+M3=corr:0.25/2" {
+		t.Fatalf("String() = %q", got)
+	}
+	if len(specs[1].Resources) != 3 || specs[1].Lanes != 1 {
+		t.Fatalf("spec 1 = %+v", specs[1])
+	}
+	if out, err := ParseSharedContention("   "); err != nil || out != nil {
+		t.Fatalf("blank spec: %v %v", out, err)
+	}
+	for _, bad := range []string{
+		"M1+M3",             // no '='
+		"M1+M3=",            // no workload
+		"=corr",             // no resources
+		"M1+M3=corr/0",      // bad lane count
+		"M1+M3=corr/x",      // bad lane count
+		"M1+M3=bursty",      // not a shared shape
+		"M1=corr",           // one resource (ParseSharedContention path)
+		"M1+M1=corr",        // duplicate resource
+		"M1+M3=corr:oops",   // bad rate
+		"M1+M3=corr:0.5:no", // bad hold
+	} {
+		if _, err := ParseSharedContention(bad); err == nil {
+			t.Errorf("spec %q should error", bad)
+		}
+	}
+}
+
+func TestParseMixedContention(t *testing.T) {
+	single, shared, err := ParseMixedContention("M1=hog/2, M1+M3=corr:0.30/1, M3=bernoulli:0.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 2 || single[0].Resource != "M1" || single[0].Workload != "hog" || single[0].Lines != 2 {
+		t.Fatalf("single = %+v", single)
+	}
+	if len(shared) != 1 || !reflect.DeepEqual(shared[0].Resources, []string{"M1", "M3"}) {
+		t.Fatalf("shared = %+v", shared)
+	}
+	if s, sh, err := ParseMixedContention(""); err != nil || s != nil || sh != nil {
+		t.Fatalf("blank: %v %v %v", s, sh, err)
+	}
+	for _, bad := range []string{"M1+M3=nope", "M1=notashape", "M1+M3"} {
+		if _, _, err := ParseMixedContention(bad); err == nil {
+			t.Errorf("spec %q should error", bad)
+		}
+	}
+}
+
+func TestSharedLinesAndExpected(t *testing.T) {
+	shared, err := ParseSharedContention("M1+M3=corr:0.25/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := ParseContention("M1=hog/1,M2=silent/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := expectedLines(Options{Contention: single, Shared: shared})
+	// hog adds 1 on M1, silent is elided, corr adds 2 lanes to M1 and M3.
+	want := map[string]int{"M1": 3, "M3": 2}
+	if !reflect.DeepEqual(extra, want) {
+		t.Fatalf("expectedLines = %v, want %v", extra, want)
+	}
+}
+
+// fakeDesign builds a Design skeleton with the given per-stage arbiter
+// resource lists, enough for validateShared/StageWidths.
+func fakeDesign(stages ...[]string) *Design {
+	d := &Design{}
+	for _, resources := range stages {
+		ins := &arbinsert.Result{}
+		for _, r := range resources {
+			ins.Arbiters = append(ins.Arbiters, partition.ArbiterSpec{
+				Resource: r, Members: []string{"a", "b", "c"},
+			})
+		}
+		d.Stages = append(d.Stages, &StagePlan{Inserted: ins})
+	}
+	return d
+}
+
+func TestValidateSharedRequiresCoArbitration(t *testing.T) {
+	// M1 and M3 are each arbitrated somewhere, but never in one stage: a
+	// correlated source spanning them is meaningless and must be
+	// rejected, not silently skipped.
+	d := fakeDesign([]string{"M1"}, []string{"M3"})
+	specs, err := ParseSharedContention("M1+M3=corr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = validateShared(d, specs)
+	if err == nil {
+		t.Fatal("want an error for never-co-arbitrated resources")
+	}
+	if !strings.Contains(err.Error(), "no single stage") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// Together in stage 0: fine.
+	if err := validateShared(fakeDesign([]string{"M1", "M3"}, []string{"M3"}), specs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageWidths(t *testing.T) {
+	d := fakeDesign([]string{"M1", "M3"}, []string{"M3"})
+	single, shared, err := ParseMixedContention("M1=hog/2,M1+M3=corr:0.30/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := StageWidths(d, Options{Contention: single, Shared: shared})
+	// Stage 0: M1 = 3 members + 2 hog + 1 corr lane; M3 = 3 members + 1
+	// corr lane. Stage 1 hosts no corr source (M1 missing): M3 = 3
+	// members only... but the hog spec attaches wherever M1 is
+	// arbitrated, which stage 1 doesn't.
+	want := []map[string]int{
+		{"M1": 6, "M3": 4},
+		{"M3": 3},
+	}
+	if !reflect.DeepEqual(widths, want) {
+		t.Fatalf("StageWidths = %v, want %v", widths, want)
+	}
+}
+
+// TestSharedContentionFFTEndToEnd runs the full FFT under a correlated
+// M1+M3 source: the source must wire into stage 0 only (the one stage
+// arbitrating both), report coherent cross-resource stats, and leave the
+// design's output intact.
+func TestSharedContentionFFTEndToEnd(t *testing.T) {
+	opts := paperOpts()
+	var err error
+	if opts.Contention, opts.Shared, err = ParseMixedContention("M1+M3=corr:0.30/1"); err != nil {
+		t.Fatal(err)
+	}
+	opts.ContentionSeed = 11
+	stats, _ := runFFT(t, opts)
+	if len(stats) != 3 {
+		t.Fatalf("stages = %d", len(stats))
+	}
+	if len(stats[0].Shared) != 1 {
+		t.Fatalf("stage 0 shared sources = %d, want 1", len(stats[0].Shared))
+	}
+	if len(stats[1].Shared) != 0 || len(stats[2].Shared) != 0 {
+		t.Fatal("correlated source leaked into a stage that does not arbitrate both resources")
+	}
+	sh := stats[0].Shared[0]
+	if !reflect.DeepEqual(sh.Resources, []string{"M1", "M3"}) {
+		t.Fatalf("resources = %v", sh.Resources)
+	}
+	if sh.Grants[0] == 0 || sh.Grants[1] == 0 {
+		t.Fatalf("correlated source never granted: %+v", sh)
+	}
+	if sh.AllHeld == 0 {
+		t.Fatal("correlated source never completed a critical section")
+	}
+	// AllHeld counts cycles with BOTH granted, bounded by each
+	// resource's grant count.
+	if sh.AllHeld > sh.Grants[0] || sh.AllHeld > sh.Grants[1] {
+		t.Fatalf("AllHeld %d exceeds a per-resource grant count %v", sh.AllHeld, sh.Grants)
+	}
+	// Per-line phantom stats land in Stats.Contention for both spanned
+	// resources and must agree with the shared view.
+	for i, res := range sh.Resources {
+		cs := stats[0].Contention[res]
+		if cs == nil {
+			t.Fatalf("no Stats.Contention entry for %s", res)
+		}
+		if got := sum(cs.Grants); got != sh.Grants[i] {
+			t.Fatalf("%s: contention grants %d != shared grants %d", res, got, sh.Grants[i])
+		}
+		if got := sum(cs.Waits); got != sh.Waits[i] {
+			t.Fatalf("%s: contention waits %d != shared waits %d", res, got, sh.Waits[i])
+		}
+	}
+	// No member violations: the background load delays but never breaks
+	// the access protocol.
+	for si, st := range stats {
+		if len(st.Violations) > 0 {
+			t.Fatalf("stage %d violations: %v", si, st.Violations)
+		}
+	}
+}
+
+// TestSharedContentionDeterministic: identical options replay the
+// identical stats, and a different seed produces a different experience.
+func TestSharedContentionDeterministic(t *testing.T) {
+	opts := paperOpts()
+	var err error
+	if _, opts.Shared, err = ParseMixedContention("M1+M3=corr:0.30/2"); err != nil {
+		t.Fatal(err)
+	}
+	// Two lanes widen M1 past PE1's CLB budget under the derived
+	// contention-aware pricing; this test is about simulation
+	// determinism, so opt the mapper out explicitly.
+	opts.Partition.ExpectedContention = map[string]int{}
+	opts.ContentionSeed = 3
+	a, _ := runFFT(t, opts)
+	b, _ := runFFT(t, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical shared-contention runs diverged")
+	}
+	opts.ContentionSeed = 4
+	c, _ := runFFT(t, opts)
+	if reflect.DeepEqual(a[0].Shared, c[0].Shared) {
+		t.Fatal("different seeds produced identical shared stats (suspicious)")
+	}
+}
+
+// TestSharedContentionDeadlockAdjacent wires two correlated sources over
+// the same two resources in OPPOSITE acquisition orders — the circular
+// hold-and-wait. Under the non-preemptive round-robin (grants persist
+// while requested) the two phantoms eventually interlock, the member
+// tasks starve behind them, and the watchdog must report the deadlock.
+func TestSharedContentionDeadlockAdjacent(t *testing.T) {
+	opts := paperOpts()
+	var err error
+	if _, opts.Shared, err = ParseMixedContention("M1+M3=corr:0.90:64/1,M3+M1=corr:0.90:64/1"); err != nil {
+		t.Fatal(err)
+	}
+	// The two extra M1 lanes overflow PE1 under contention-aware area
+	// pricing; this experiment is about the interlock, not board fit.
+	opts.Partition.ExpectedContention = map[string]int{}
+	opts.ContentionSeed = 1
+	opts.MaxCyclesPerStage = 20_000
+	d, mem, _ := compileFFT(t, 2, opts)
+	res, err := Simulate(d, mem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stages[0].Stats
+	if st.Done {
+		t.Fatal("expected the circular hold-and-wait to starve stage 0 into the watchdog")
+	}
+	dead := false
+	for _, v := range st.Violations {
+		if v.Kind == "deadlock-or-timeout" {
+			dead = true
+		}
+	}
+	if !dead {
+		t.Fatalf("no deadlock-or-timeout violation; got %v", st.Violations)
+	}
+	// Both sources must be stuck in hold-and-wait at the end — huge
+	// overlap counts, near-zero critical sections after lock-up.
+	if len(st.Shared) != 2 {
+		t.Fatalf("shared sources = %d", len(st.Shared))
+	}
+	for _, sh := range st.Shared {
+		if sh.HoldWait == 0 {
+			t.Fatalf("source %s never reached hold-and-wait: %+v", sh.Name, sh)
+		}
+	}
+}
+
+// TestSharedContentionSilentElision: a statically silent shared source
+// must not exist — the corr grammar has no zero rate — but wiring an
+// explicitly silent generator through sim directly is elided; here we
+// pin the cheaper core-level guarantee that empty Shared changes
+// nothing.
+func TestSharedContentionEmptyIsNoOp(t *testing.T) {
+	base, segsA := runFFT(t, paperOpts())
+	opts := paperOpts()
+	opts.Shared = nil
+	opts.ContentionSeed = 99 // irrelevant without sources
+	with, segsB := runFFT(t, opts)
+	if !reflect.DeepEqual(base, with) || !reflect.DeepEqual(segsA, segsB) {
+		t.Fatal("empty shared contention perturbed the run")
+	}
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

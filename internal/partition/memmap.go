@@ -298,7 +298,10 @@ func checkAreaWithArbiters(g *taskgraph.Graph, board *rc.Board, st *Stage, opts 
 	}
 	for _, arb := range st.Arbiters {
 		if pe, ok := bankPE[arb.Resource]; ok {
-			load[pe] += opts.arbArea(arb.N())
+			// Price the arbiter at its simulated width: expected
+			// background phantom lines widen the policy at run time and
+			// its hardware footprint with it.
+			load[pe] += opts.arbArea(arb.N() + opts.ExpectedContention[arb.Resource])
 		}
 	}
 	for pe, l := range load {

@@ -24,6 +24,14 @@ type Options struct {
 	// ArbArea estimates arbiter CLB area for n request lines; nil uses a
 	// built-in table from the pre-characterization sweep.
 	ArbArea func(n int) int
+	// ExpectedContention maps resource names (bank or physical channel)
+	// to the background phantom request lines simulation is expected to
+	// add. The area model then prices each arbiter at its simulated
+	// width — members plus expected phantoms — instead of member width,
+	// so a design that fits at compile time still fits once contention
+	// widens its arbiters (core.Compile derives this from
+	// Options.Contention/Shared when unset).
+	ExpectedContention map[string]int
 	// BusPins is the pin cost of one PE-to-remote-bank bus (address +
 	// data + mode lines); 0 means the default 25, matching the paper's
 	// Figure 11 annotations ("25+2+2" = bus + two request/grant pairs).

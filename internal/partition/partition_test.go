@@ -161,6 +161,80 @@ func TestSegmentTooLargeForBank(t *testing.T) {
 	}
 }
 
+// TestExpectedContentionPricesSimulatedWidth pins contention-aware
+// partitioning: the arbiter-area model must be consulted at member
+// width plus the expected background lines, and the widened price must
+// be able to push a stage over CLB capacity.
+func TestExpectedContentionPricesSimulatedWidth(t *testing.T) {
+	g := pipelineGraph()
+	var widths []int
+	opts := Options{
+		ArbArea: func(n int) int {
+			widths = append(widths, n)
+			return 0
+		},
+		ExpectedContention: map[string]int{"M1": 3},
+	}
+	// pipelineGraph produces one 2-input arbiter; the Wildforce's first
+	// bank is M1, where the mapper places S (largest-first), so the area
+	// model must see 2 members + 3 expected phantoms = 5.
+	stages, err := Temporal(g, rc.Wildforce(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 1 || len(stages[0].Arbiters) != 1 {
+		t.Fatalf("unexpected structure: %+v", stages)
+	}
+	res := stages[0].Arbiters[0].Resource
+	want := 2 + opts.ExpectedContention[res]
+	saw := false
+	for _, w := range widths {
+		if w == want {
+			saw = true
+		}
+		if w == 2 && opts.ExpectedContention[res] > 0 {
+			t.Fatalf("area model consulted at member width 2 despite %d expected phantom lines", opts.ExpectedContention[res])
+		}
+	}
+	if !saw {
+		t.Fatalf("area model never consulted at simulated width %d (saw %v)", want, widths)
+	}
+
+	// The widened price must count against CLB capacity: a model whose
+	// widened arbiter is enormous fits at member width in one stage, but
+	// under expected contention the temporal partitioner must re-plan
+	// around the unaffordable arbiter (serializing Q and R into separate
+	// stages so no arbiter is needed at all).
+	blowUp := Options{
+		ArbArea: func(n int) int {
+			if n > 2 {
+				return 1_000_000
+			}
+			return 1
+		},
+	}
+	one, err := Temporal(g, rc.Wildforce(), blowUp)
+	if err != nil {
+		t.Fatalf("member-width pricing should fit: %v", err)
+	}
+	if len(one) != 1 || len(one[0].Arbiters) != 1 {
+		t.Fatalf("member-width pricing: %d stages, %+v arbiters", len(one), one[0].Arbiters)
+	}
+	blowUp.ExpectedContention = map[string]int{res: 1}
+	replanned, err := Temporal(g, rc.Wildforce(), blowUp)
+	if err != nil {
+		t.Fatalf("widened pricing should re-plan, not fail: %v", err)
+	}
+	arbiters := 0
+	for _, st := range replanned {
+		arbiters += len(st.Arbiters)
+	}
+	if len(replanned) == 1 && arbiters > 0 {
+		t.Fatalf("widened pricing kept the unaffordable single-stage arbiter plan (%d stages, %d arbiters)",
+			len(replanned), arbiters)
+	}
+}
+
 func TestArbAreaDefaultTable(t *testing.T) {
 	o := Options{}
 	if o.arbArea(1) != 0 {

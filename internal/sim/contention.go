@@ -105,11 +105,16 @@ func wireContention(sources []ContentionSource, arbs map[string]*arbInst) error 
 		ai.req = append(ai.req, make([]bool, n)...)
 		ai.grant = append(ai.grant, make([]bool, n)...)
 	}
+	return nil
+}
+
+// sizePhantoms allocates the per-phantom-line counters once every source
+// — single-resource and shared — has widened its arbiters.
+func sizePhantoms(arbs map[string]*arbInst) {
 	for _, ai := range arbs {
 		if phantoms := len(ai.req) - ai.memberN; phantoms > 0 {
 			ai.phGrants = make([]int, phantoms)
 			ai.phWaits = make([]int, phantoms)
 		}
 	}
-	return nil
 }

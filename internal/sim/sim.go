@@ -70,6 +70,19 @@ type Config struct {
 	// loops. Statically silent sources (StaticallySilent) are elided
 	// entirely, so zero-rate contention is a byte-identical no-op.
 	Contention []ContentionSource
+	// Shared attaches correlated multi-resource background sources: one
+	// generator drives request lines on several arbiters at once, with
+	// hold-A-while-waiting-on-B semantics (see SharedRequester). Lanes
+	// append after member lines and Contention lines; cross-resource
+	// overlap/wait statistics land in Stats.Shared, per-line counts in
+	// Stats.Contention.
+	Shared []SharedSource
+	// CaptureOnly restricts trace recording to the named resources when
+	// non-nil (and DisableTraces is false): unlisted arbiters skip
+	// per-cycle recording entirely and report a nil trace, so a run that
+	// only needs one resource's stream pays for one. Nil records every
+	// arbiter, preserving the historical default.
+	CaptureOnly []string
 }
 
 // Violation records one sharing error.
@@ -101,6 +114,11 @@ type Stats struct {
 	// sources to its phantom-line statistics; nil when the run had no
 	// active contention, so uninstrumented Stats stay byte-identical.
 	Contention map[string]*ContentionStats
+	// Shared holds one entry per active (non-elided) shared source, in
+	// Config.Shared order: the cross-resource hold-and-wait overlap and
+	// per-resource grant/wait totals no single-resource view can report.
+	// Nil when the run had no active shared sources.
+	Shared []*SharedStats
 }
 
 // arbInst is one arbiter instance with its reusable request/grant
@@ -115,7 +133,8 @@ type arbInst struct {
 	memberN  int            // request lines belonging to member tasks
 	req      []bool
 	grant    []bool
-	grants   int // member grants, flushed to Stats.GrantsByRes after the run
+	grants   int  // member grants, flushed to Stats.GrantsByRes after the run
+	capture  bool // record per-cycle traces for this arbiter
 	trace    []arbiter.TraceStep
 	arena    []bool       // chunked backing for trace req/grant copies
 	sources  []contSource // background phantom requesters
@@ -248,9 +267,24 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		arbs[spec.Resource] = ai
 	}
-	// Phantom lines widen req/grant before the policies are sized.
+	// Phantom lines widen req/grant before the policies are sized:
+	// single-resource sources first, then shared multi-resource lanes.
 	if err := wireContention(cfg.Contention, arbs); err != nil {
 		return nil, err
+	}
+	shared, err := wireShared(cfg.Shared, arbs)
+	if err != nil {
+		return nil, err
+	}
+	sizePhantoms(arbs)
+	bindShared(shared) // backing arrays are final now; views are safe
+	// Per-resource trace taps: nil CaptureOnly records everything.
+	captureSet := map[string]bool{}
+	for _, r := range cfg.CaptureOnly {
+		captureSet[r] = true
+	}
+	for _, ai := range arbs {
+		ai.capture = !cfg.DisableTraces && (cfg.CaptureOnly == nil || captureSet[ai.res])
 	}
 	// Construct policies in cfg.Arbiters order (not map order), so a
 	// stateful NewPolicy closure sees a deterministic call sequence.
@@ -374,6 +408,12 @@ func Run(cfg Config) (*Stats, error) {
 		// Phase 1: arbiters sample request lines (set by earlier cycles)
 		// and issue grants for this cycle. Phantom sources refresh their
 		// lines first, observing last cycle's grants — the closed loop.
+		// Shared sources refresh before ANY arbiter steps, so a source
+		// spanning several resources sees one coherent grant snapshot
+		// instead of a mix of old and new decisions.
+		for _, inst := range shared {
+			inst.gen.Next(inst.reqView, inst.grantView)
+		}
 		for _, ai := range arbList {
 			for _, cs := range ai.sources {
 				cs.gen.Next(ai.req[cs.off:cs.off+cs.n], ai.grant[cs.off:cs.off+cs.n])
@@ -384,7 +424,7 @@ func Run(cfg Config) (*Stats, error) {
 					ai.grants++
 				}
 			}
-			if len(ai.sources) > 0 {
+			if ai.phGrants != nil {
 				for i, g := range ai.grant[ai.memberN:] {
 					switch {
 					case g:
@@ -394,9 +434,14 @@ func Run(cfg Config) (*Stats, error) {
 					}
 				}
 			}
-			if !cfg.DisableTraces {
+			if ai.capture {
 				ai.record()
 			}
+		}
+		// Cross-resource overlap stats read this cycle's grants on every
+		// spanned resource, after all arbiters have stepped.
+		for _, inst := range shared {
+			inst.observe()
 		}
 
 		// Phase 2: tasks execute one cycle each.
@@ -584,12 +629,15 @@ func Run(cfg Config) (*Stats, error) {
 		if ai.grants > 0 {
 			stats.GrantsByRes[ai.res] = ai.grants
 		}
-		if len(ai.sources) > 0 {
+		if ai.phGrants != nil {
 			if stats.Contention == nil {
 				stats.Contention = map[string]*ContentionStats{}
 			}
 			stats.Contention[ai.res] = &ContentionStats{Grants: ai.phGrants, Waits: ai.phWaits}
 		}
+	}
+	for _, inst := range shared {
+		stats.Shared = append(stats.Shared, inst.stats)
 	}
 	if !stats.Done {
 		stats.Violations = append(stats.Violations, Violation{

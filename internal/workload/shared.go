@@ -1,0 +1,198 @@
+// Correlated multi-resource sources: one generator driving request
+// lines on several arbiters with hold-A-while-waiting-on-B semantics —
+// the deadlock-adjacent sharing pattern (a task holds bank A while it
+// waits for channel B) that no per-arbiter generator can express, and
+// the ROADMAP's multi-resource workload item.
+
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SharedSource is a closed-loop generator spanning several arbitrated
+// resources; it implements sim.SharedRequester. It runs Lanes()
+// independent jobs, each claiming one request line on every resource.
+//
+// A lane's lifecycle is the classic hold-and-wait protocol:
+//
+//  1. Idle. Each cycle an arrival fires with probability p (one rng
+//     draw per lane per cycle, consumed unconditionally, so the arrival
+//     process is identical no matter which policies serve it).
+//  2. Acquire the resources strictly in Resources() order: request
+//     resource k while KEEPING the request lines of resources 0..k-1
+//     asserted — under the paper's non-preemptive protocol an asserted
+//     request retains its grant, so the lane holds everything it has
+//     acquired while it waits.
+//  3. Once every resource has been acquired, hold them all for `hold`
+//     cycles counted while all grants are simultaneously observed (a
+//     preemptive policy can revoke a grant mid-hold; such cycles do not
+//     count), then release every line at once and go idle.
+//
+// Two SharedSources spanning the same resources in opposite orders
+// create a circular hold-and-wait — genuinely deadlock-adjacent load the
+// simulator's watchdog must catch.
+type SharedSource struct {
+	name      string
+	resources []string
+	lanes     int
+	seed      uint64
+	p         float64
+	hold      int
+	streams   []rng
+	// Per lane: number of resources acquired so far, -1 when idle. A
+	// resource counts as acquired once its grant has been observed; the
+	// line stays asserted from first request through release.
+	stage []int
+	// Per lane: all-held cycles accumulated toward the hold time.
+	heldFor []int
+}
+
+// NewShared returns a correlated source over the named resources in
+// acquisition order. Each of the lanes runs an independent job stream
+// (independent rng streams derived from seed); p is the per-cycle
+// arrival probability of an idle lane and hold the number of all-held
+// cycles before release.
+func NewShared(resources []string, lanes int, p float64, hold int, seed uint64) (*SharedSource, error) {
+	if len(resources) < 2 {
+		return nil, fmt.Errorf("workload: shared source needs at least 2 resources, got %v", resources)
+	}
+	seen := map[string]bool{}
+	for _, r := range resources {
+		if r == "" {
+			return nil, fmt.Errorf("workload: shared source has an empty resource name in %v", resources)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("workload: shared source names resource %s twice", r)
+		}
+		seen[r] = true
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("workload: shared source lanes must be positive, got %d", lanes)
+	}
+	if err := checkRate("corr", p); err != nil {
+		return nil, err
+	}
+	if hold < 1 {
+		return nil, fmt.Errorf("workload: shared source hold must be positive, got %d", hold)
+	}
+	s := &SharedSource{
+		name:      fmt.Sprintf("corr:%.2f:%d", p, hold),
+		resources: append([]string(nil), resources...),
+		lanes:     lanes,
+		seed:      seed,
+		p:         p,
+		hold:      hold,
+		stage:     make([]int, lanes),
+		heldFor:   make([]int, lanes),
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Name identifies the source shape with its parameters.
+func (s *SharedSource) Name() string { return s.name }
+
+// Resources lists the spanned resources in acquisition order.
+func (s *SharedSource) Resources() []string { return s.resources }
+
+// Lanes returns the number of independent jobs.
+func (s *SharedSource) Lanes() int { return s.lanes }
+
+// Reset returns every lane to idle and rewinds the arrival streams.
+func (s *SharedSource) Reset() {
+	s.streams = taskStreams(s.seed, s.lanes)
+	for j := range s.stage {
+		s.stage[j] = -1
+		s.heldFor[j] = 0
+	}
+}
+
+// Next advances every lane one cycle: consume last cycle's grants, then
+// fill req[r][j] for resource r, lane j. Allocation-free.
+func (s *SharedSource) Next(req, prevGrant [][]bool) {
+	k := len(s.resources)
+	for j := 0; j < s.lanes; j++ {
+		// One draw per lane per cycle regardless of state, so arrivals
+		// are policy-independent.
+		arrive := s.streams[j].chance(s.p)
+		switch {
+		case s.stage[j] < 0:
+			if arrive {
+				s.stage[j] = 0
+			}
+		case s.stage[j] < k:
+			// Waiting on resource stage[j]: advance when its grant lands.
+			// Several may land in back-to-back cycles; latch one per cycle
+			// (the request for the next resource only went up last cycle).
+			if prevGrant[s.stage[j]][j] {
+				s.stage[j]++
+			}
+		}
+		if s.stage[j] == k {
+			// All acquired: count cycles where every grant is held
+			// simultaneously (preemption can take one away mid-hold).
+			all := true
+			for r := 0; r < k; r++ {
+				if !prevGrant[r][j] {
+					all = false
+					break
+				}
+			}
+			if all {
+				s.heldFor[j]++
+			}
+			if s.heldFor[j] >= s.hold {
+				s.stage[j] = -1
+				s.heldFor[j] = 0
+			}
+		}
+		// Request lines: everything acquired so far plus the one being
+		// waited on; idle lanes release everything.
+		for r := 0; r < k; r++ {
+			req[r][j] = s.stage[j] >= 0 && r <= s.stage[j]
+		}
+	}
+}
+
+// NewSharedGenerator constructs a correlated source from the textual
+// grammar used by contention specs:
+//
+//	corr[:p[:hold]]
+//
+// p is the per-lane arrival probability when idle (default 0.10) and
+// hold the all-held cycles before release (default 2; the separator is
+// ':' because contention spec lists are comma-separated). The resource
+// list, lane count, and seed come from the surrounding spec
+// ("M1+M3=corr:0.25/2" spans M1 and M3 with 2 lanes).
+func NewSharedGenerator(spec string, resources []string, lanes int, seed uint64) (*SharedSource, error) {
+	shape, param := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		shape, param = spec[:i], spec[i+1:]
+	}
+	if shape != "corr" {
+		return nil, fmt.Errorf("workload: unknown shared workload %q (only \"corr[:p[:hold]]\" spans resources)", spec)
+	}
+	p, hold := 0.10, 2
+	if param != "" {
+		ps, hs, hasHold := param, "", false
+		if i := strings.IndexByte(param, ':'); i >= 0 {
+			ps, hs, hasHold = param[:i], param[i+1:], true
+		}
+		v, err := strconv.ParseFloat(ps, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: corr rate %q is not a number", ps)
+		}
+		p = v
+		if hasHold {
+			h, err := strconv.Atoi(hs)
+			if err != nil || h < 1 {
+				return nil, fmt.Errorf("workload: corr hold %q must be a positive integer", hs)
+			}
+			hold = h
+		}
+	}
+	return NewShared(resources, lanes, p, hold, seed)
+}

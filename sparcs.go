@@ -2,8 +2,36 @@
 // Reconfigurable Computing Environments" (Ouaiss & Vemuri, DATE 2000) as a
 // production-quality Go library.
 //
-// The package is a thin, documented facade over the implementation
-// packages in internal/:
+// # The experiment API
+//
+// The package is organized around the paper's compile-once /
+// experiment-many flow. Build compiles a taskgraph onto a board — the
+// SPARCS-like pipeline of temporal/spatial partitioning,
+// arbitration-aware memory mapping, channel merging, and automatic
+// arbiter insertion — and returns a System; each System.Run then
+// composes one experiment from functional options:
+//
+//	sys, _ := sparcs.FFTSystem(8)                    // compile once (Section 5 case study)
+//	base, _ := sys.Run()                             // the paper's round-robin baseline
+//	hot, _ := sys.Run(                               // same silicon, hostile load
+//	    sparcs.WithPolicy("preemptive:4"),
+//	    sparcs.WithContention("M1=hog/1"),
+//	    sparcs.WithSeed(7))
+//	corr, _ := sys.Run(                              // correlated multi-resource source:
+//	    sparcs.WithContention("M1+M3=corr:0.25/1"))  // holds M1 while waiting on M3
+//	cap, _ := sys.Run(sparcs.WithCapture("M1"))      // per-run trace tap
+//	col, _ := cap.Column("M1")                       // measured traffic as a grid column
+//
+// WithPolicy swaps the arbitration policy (validated against every
+// arbiter's simulated width up front), WithContention injects
+// single-resource phantom requesters and correlated hold-A-while-
+// waiting-on-B sources (cross-resource overlap/wait stats in
+// Result.SharedStats), WithCapture taps per-cycle request/grant traces
+// for capture→replay experiments, and WithSeed/WithMaxCycles/WithMemory
+// pin determinism, watchdogs, and memory images. Runs are independent
+// and safe to issue concurrently.
+//
+// # Under the facade
 //
 //   - Round-robin arbiters (Figure 5): behavioral models, synthesizable
 //     FSMs, VHDL generation, fairness checkers (internal/arbiter).
@@ -11,28 +39,30 @@
 //     algebraic factoring, 4-LUT mapping, XC4000E CLB packing, and -3
 //     speed-grade timing — modeling the paper's two synthesis tools
 //     (internal/logic, fsm, netlist, lutmap, xc4000, synth).
-//   - The SPARCS-like system flow: temporal/spatial partitioning,
-//     arbitration-aware memory mapping, channel merging, automatic
-//     arbiter insertion with the Figure 8 access protocol, and a
-//     cycle-accurate multi-FPGA simulator (internal/partition,
-//     arbinsert, sim, core).
+//   - The SPARCS-like system flow and cycle-accurate multi-FPGA
+//     simulator (internal/partition, arbinsert, sim, core).
+//   - A standalone contention-workload engine driving any policy under
+//     synthetic and measured traffic shapes (internal/workload), fronted
+//     by EvaluatePolicies/EvaluatePolicyColumns.
 //   - The Section 5 case study: the 4x4 2-D FFT on the Annapolis
 //     Wildforce board (internal/fft, rc).
 //
-// See the runnable programs under examples/ and the benchmark harness in
+// The pre-System facade (Compile, Simulate and the flat core.Options
+// bag) remains as deprecated wrappers with identical outputs, proven by
+// the differential tests in system_test.go.
+//
+// See the runnable programs under examples/, README.md for a quickstart
+// and the old→new migration table, and the benchmark harness in
 // bench_test.go, which regenerates every figure and table of the paper's
 // evaluation (documented in EXPERIMENTS.md).
 package sparcs
 
 import (
-	"fmt"
-
 	"sparcs/internal/arbiter"
 	"sparcs/internal/behav"
 	"sparcs/internal/core"
 	"sparcs/internal/fft"
 	"sparcs/internal/fsm"
-	"sparcs/internal/partition"
 	"sparcs/internal/rc"
 	"sparcs/internal/sim"
 	"sparcs/internal/synth"
@@ -45,14 +75,9 @@ import (
 // receive the grant vector.
 func NewArbiter(n int) (*arbiter.RoundRobin, error) {
 	if n < arbiter.MinN || n > arbiter.MaxN {
-		return nil, errRange(n)
+		return nil, arbiter.RangeError(n)
 	}
 	return arbiter.NewRoundRobin(n), nil
-}
-
-func errRange(n int) error {
-	_, err := arbiter.Machine(n) // reuse its error text
-	return err
 }
 
 // NewPolicy constructs an arbitration policy by name. Every policy the
@@ -127,66 +152,50 @@ func CaptureColumn(name string, steps []arbiter.TraceStep) (WorkloadColumn, erro
 // column named "fft:<resource>". The request stream is closed-loop
 // traffic shaped by the capture policy, so the policy spec is part of
 // the measurement; "round-robin" reproduces the paper's setup.
+//
+// Deprecated: thin wrapper over the System API — FFTSystem, then
+// Run(WithPolicy(policy), WithCapture()) and Result.ColumnByWidth; keep
+// the System to capture several resources or policies without
+// recompiling.
 func FFTMeasuredColumn(tiles, n int, policy string) (WorkloadColumn, error) {
 	if tiles <= 0 {
 		tiles = 6
 	}
-	spec, err := arbiter.ParsePolicySpec(policy)
+	sys, err := FFTSystem(tiles)
 	if err != nil {
 		return WorkloadColumn{}, err
 	}
-	g := fft.Taskgraph()
-	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
-	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	mem := NewMemory()
+	LoadFFTInput(mem, tiles, 42)
+	res, err := sys.Run(WithPolicy(policy), WithCapture(), WithMemory(mem))
 	if err != nil {
 		return WorkloadColumn{}, err
 	}
-	for _, sp := range d.Stages {
-		for _, a := range sp.Inserted.Arbiters {
-			if _, err := spec.New(a.N()); err != nil {
-				return WorkloadColumn{}, fmt.Errorf("sparcs: capture policy %s unusable for the %d-line arbiter on %s: %w", spec, a.N(), a.Resource, err)
-			}
-		}
-	}
-	opts.NewPolicy = func(n int) arbiter.Policy {
-		p, err := spec.New(n)
-		if err != nil {
-			panic(fmt.Sprintf("policy %s at N=%d: %v", spec, n, err)) // unreachable: sizes validated above
-		}
-		return p
-	}
-	mem := sim.NewMemory()
-	fft.LoadInput(mem, tiles, 42)
-	res, err := core.Simulate(d, mem, opts)
-	if err != nil {
-		return WorkloadColumn{}, err
-	}
-	var widths []int
-	for si, ss := range res.Stages {
-		for _, a := range d.Stages[si].Inserted.Arbiters {
-			trace := ss.Stats.ArbiterTraces[a.Resource]
-			if len(trace) == 0 {
-				continue
-			}
-			if w := len(trace[0].Req); w == n {
-				return workload.FromArbiterTrace(fmt.Sprintf("fft:%s", a.Resource), trace)
-			} else {
-				widths = append(widths, w)
-			}
-		}
-	}
-	return WorkloadColumn{}, fmt.Errorf("sparcs: the FFT design has no %d-line arbiter to capture (available widths: %v)", n, widths)
+	return res.ColumnByWidth("fft", n)
 }
 
-// ContentionSpec asks Simulate to inject one background phantom
-// requester alongside the compiled tasks (see core.ContentionSpec and
-// the "resource=workload[/lines]" grammar of ParseContention).
+// ContentionSpec asks a run to inject one background phantom requester
+// alongside the compiled tasks (see core.ContentionSpec and the
+// "resource=workload[/lines]" grammar of ParseContention).
 type ContentionSpec = core.ContentionSpec
+
+// SharedContentionSpec asks a run to inject one correlated
+// multi-resource background source: a single generator spanning several
+// arbiters with hold-A-while-waiting-on-B acquisition (see
+// core.SharedContentionSpec and the "res1+res2=workload[/lanes]" grammar
+// of ParseSharedContention).
+type SharedContentionSpec = core.SharedContentionSpec
 
 // ParseContention parses a comma-separated contention spec list, e.g.
 // "M1=hog/2,M3=bernoulli:0.50", for core.Options.Contention.
 func ParseContention(s string) ([]ContentionSpec, error) {
 	return core.ParseContention(s)
+}
+
+// ParseSharedContention parses a comma-separated correlated contention
+// spec list, e.g. "M1+M3=corr:0.25/2", for core.Options.Shared.
+func ParseSharedContention(s string) ([]SharedContentionSpec, error) {
+	return core.ParseSharedContention(s)
 }
 
 // ArbiterVHDL renders the N-input round-robin arbiter as synthesizable
@@ -239,42 +248,51 @@ type FFTCaseStudy struct {
 // Wildforce model with the paper's three-stage temporal partitioning,
 // verifying the hardware memory image against the fixed-point reference
 // and extrapolating full-image timings.
+//
+// Deprecated: thin wrapper over the System API — FFTSystem once, then
+// Run per experiment; keep the System to vary policies or contention
+// without recompiling.
 func RunFFTCaseStudy(tiles int) (*FFTCaseStudy, error) {
 	if tiles <= 0 {
 		tiles = 6
 	}
-	g := fft.Taskgraph()
-	opts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
-	d, err := core.Compile(g, rc.Wildforce(), fft.Programs(tiles), opts)
+	sys, err := FFTSystem(tiles)
 	if err != nil {
 		return nil, err
 	}
-	mem := sim.NewMemory()
-	in := fft.LoadInput(mem, tiles, 42)
-	res, err := core.Simulate(d, mem, opts)
+	mem := NewMemory()
+	in := LoadFFTInput(mem, tiles, 42)
+	res, err := sys.Run(WithCapture(), WithMemory(mem))
 	if err != nil {
 		return nil, err
 	}
 	cpt := float64(res.TotalCycles) / float64(tiles)
 	cs := &FFTCaseStudy{
-		Design:        d,
-		Result:        res,
-		Report:        d.Report(),
+		Design:        sys.Design(),
+		Result:        res.RunResult,
+		Report:        sys.Report(),
 		CyclesPerTile: cpt,
 		HWSeconds:     fft.HardwareSeconds(cpt, 512),
 		SWSeconds:     fft.SoftwareSeconds(512),
-		OutputOK:      fft.CheckOutput(mem, in) == nil,
+		OutputOK:      CheckFFTOutput(mem, in) == nil,
 	}
 	cs.Speedup = cs.SWSeconds / cs.HWSeconds
 	return cs, nil
 }
 
 // Compile runs the full SPARCS-like flow on an arbitrary taskgraph.
+//
+// Deprecated: use Build, which returns a System handle that composes
+// per-run options instead of threading one core.Options bag through
+// Compile and Simulate.
 func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]Program, opts core.Options) (*core.Design, error) {
 	return core.Compile(g, board, programs, opts)
 }
 
 // Simulate executes a compiled design stage by stage.
+//
+// Deprecated: use System.Run with functional options (WithPolicy,
+// WithContention, WithCapture, WithSeed) composed per experiment.
 func Simulate(d *core.Design, mem *sim.Memory, opts core.Options) (*core.RunResult, error) {
 	return core.Simulate(d, mem, opts)
 }

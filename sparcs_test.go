@@ -312,6 +312,17 @@ func TestContentionPublicAPI(t *testing.T) {
 		Partition:  partition.Options{FixedStages: fft.PaperStages()},
 		Contention: specs,
 	}
+	// Contention-aware partitioning prices M1's arbiter at its simulated
+	// width (6 members + 2 phantoms): Arb8 costs 37 CLBs and PE1
+	// genuinely overflows, which Compile must now report.
+	if _, err := sparcs.Compile(g, sparcs.Wildforce(), fft.Programs(2), opts); err == nil {
+		t.Fatal("phantom-widened Arb8 should overflow PE1's CLB capacity")
+	} else if !strings.Contains(err.Error(), "over capacity") {
+		t.Fatalf("want an over-capacity error, got: %v", err)
+	}
+	// An explicit (empty) estimate opts out of the derived width bump —
+	// the escape hatch for phantom-only experiments on a full board.
+	opts.Partition.ExpectedContention = map[string]int{}
 	d, err := sparcs.Compile(g, sparcs.Wildforce(), fft.Programs(2), opts)
 	if err != nil {
 		t.Fatal(err)

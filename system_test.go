@@ -1,0 +1,379 @@
+package sparcs_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparcs"
+	"sparcs/internal/arbiter"
+	"sparcs/internal/core"
+	"sparcs/internal/fft"
+	"sparcs/internal/partition"
+	"sparcs/internal/rc"
+	"sparcs/internal/sim"
+	"sparcs/internal/workload"
+)
+
+// TestSystemFFTDifferentialEquivalence is the deprecated-wrapper
+// contract: the old flat-options path (core.Compile + core.Simulate),
+// the deprecated facade wrappers, and a direct System run must produce
+// deeply equal per-stage stats — including traces — and identical
+// memory images for the FFT case study.
+func TestSystemFFTDifferentialEquivalence(t *testing.T) {
+	const tiles = 3
+
+	// Old path: the flat core.Options bag threaded through both calls.
+	oldOpts := core.Options{Partition: partition.Options{FixedStages: fft.PaperStages()}}
+	d, err := core.Compile(fft.Taskgraph(), rc.Wildforce(), fft.Programs(tiles), oldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldMem := sim.NewMemory()
+	fft.LoadInput(oldMem, tiles, 42)
+	oldRes, err := core.Simulate(d, oldMem, oldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New path: Build once, Run with per-run options.
+	sys, err := sparcs.FFTSystem(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMem := sparcs.NewMemory()
+	in := sparcs.LoadFFTInput(newMem, tiles, 42)
+	newRes, err := sys.Run(sparcs.WithCapture(), sparcs.WithMemory(newMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deprecated wrapper path.
+	cs, err := sparcs.RunFFTCaseStudy(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]*core.RunResult{
+		"System.Run":      newRes.RunResult,
+		"RunFFTCaseStudy": cs.Result,
+	} {
+		if got.TotalCycles != oldRes.TotalCycles {
+			t.Fatalf("%s: TotalCycles %d != old %d", name, got.TotalCycles, oldRes.TotalCycles)
+		}
+		if len(got.Stages) != len(oldRes.Stages) {
+			t.Fatalf("%s: %d stages != %d", name, len(got.Stages), len(oldRes.Stages))
+		}
+		for si := range got.Stages {
+			if !reflect.DeepEqual(got.Stages[si].Stats, oldRes.Stages[si].Stats) {
+				t.Fatalf("%s: stage %d stats diverge from the old facade path", name, si)
+			}
+		}
+	}
+	// Memory images agree segment by segment.
+	for _, s := range fft.Taskgraph().Segments {
+		if !reflect.DeepEqual(oldMem.Snapshot(s.Name), newMem.Snapshot(s.Name)) {
+			t.Fatalf("segment %s differs between old and new paths", s.Name)
+		}
+	}
+	if err := sparcs.CheckFFTOutput(newMem, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSystemArbbenchGridEquivalence: the grid built from the deprecated
+// FFTMeasuredColumn wrapper and the grid built from a System capture
+// must be cell-for-cell DeepEqual — the arbbench half of the wrapper
+// contract.
+func TestSystemArbbenchGridEquivalence(t *testing.T) {
+	const tiles = 2
+	oldCol, err := sparcs.FFTMeasuredColumn(tiles, 6, "round-robin")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := sparcs.FFTSystem(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := sparcs.NewMemory()
+	sparcs.LoadFFTInput(mem, tiles, 42)
+	res, err := sys.Run(sparcs.WithCapture("M1"), sparcs.WithMemory(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCol, err := res.ColumnByWidth("fft", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldCol.Name != newCol.Name {
+		t.Fatalf("column names: old %q, new %q", oldCol.Name, newCol.Name)
+	}
+
+	policies := []string{"rr", "fifo", "priority", "preemptive:4"}
+	opt := sparcs.EvaluateOptions{N: 6, Cycles: 20_000, Seed: 1}
+	oldCells, err := sparcs.EvaluatePolicyColumns(policies, []sparcs.WorkloadColumn{oldCol, sparcs.SpecWorkloadColumn("hog")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCells, err := sparcs.EvaluatePolicyColumns(policies, []sparcs.WorkloadColumn{newCol, sparcs.SpecWorkloadColumn("hog")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldCells, newCells) {
+		t.Fatal("grid cells diverge between the deprecated wrapper column and the System capture column")
+	}
+	// And the spec-string front end still matches the columns front end.
+	oldGrid, err := sparcs.EvaluatePolicies(policies, []string{"hog", "bursty"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colGrid, err := sparcs.EvaluatePolicyColumns(policies,
+		[]sparcs.WorkloadColumn{sparcs.SpecWorkloadColumn("hog"), sparcs.SpecWorkloadColumn("bursty")}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldGrid, colGrid) {
+		t.Fatal("EvaluatePolicies diverges from EvaluatePolicyColumns over the same specs")
+	}
+}
+
+// TestSystemCorrelatedAcrossPolicies is the acceptance property test: a
+// correlated two-resource source (holds M1 while requesting M3) runs
+// through System.Run under several policies; every run must report
+// coherent cross-resource overlap/wait stats and keep the design
+// correct.
+func TestSystemCorrelatedAcrossPolicies(t *testing.T) {
+	const tiles = 2
+	sys, err := sparcs.FFTSystem(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"round-robin", "fifo", "priority", "random:3", "preemptive:4"} {
+		t.Run(policy, func(t *testing.T) {
+			mem := sparcs.NewMemory()
+			in := sparcs.LoadFFTInput(mem, tiles, 42)
+			res, err := sys.Run(
+				sparcs.WithPolicy(policy),
+				sparcs.WithContention("M1+M3=corr:0.30/1"),
+				sparcs.WithSeed(11),
+				sparcs.WithMaxCycles(500_000),
+				sparcs.WithMemory(mem),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations()) != 0 {
+				t.Fatalf("violations under %s: %v", policy, res.Violations())
+			}
+			if err := sparcs.CheckFFTOutput(mem, in); err != nil {
+				t.Fatalf("FFT output corrupted under correlated contention: %v", err)
+			}
+			shared := res.SharedStats()
+			if len(shared) != 1 {
+				t.Fatalf("shared sources = %d, want 1 (stage 0 hosts M1+M3)", len(shared))
+			}
+			sh := shared[0]
+			if !reflect.DeepEqual(sh.Resources, []string{"M1", "M3"}) {
+				t.Fatalf("resources = %v", sh.Resources)
+			}
+			// The source made progress on both resources and completed
+			// critical sections.
+			if sh.Grants[0] == 0 || sh.Grants[1] == 0 || sh.AllHeld == 0 {
+				t.Fatalf("no cross-resource progress: %+v", sh)
+			}
+			// Overlap bounds: both banks held at most min(grants);
+			// overlap states bounded by the stage length.
+			if sh.AllHeld > sh.Grants[0] || sh.AllHeld > sh.Grants[1] {
+				t.Fatalf("AllHeld %d exceeds a grant count %v", sh.AllHeld, sh.Grants)
+			}
+			st0 := res.Stages[0].Stats
+			if sh.HoldWait+sh.AllHeld > st0.Cycles {
+				t.Fatalf("overlap %d+%d exceeds stage cycles %d", sh.HoldWait, sh.AllHeld, st0.Cycles)
+			}
+			// Per-line counts land in Stats.Contention for both banks.
+			for i, r := range sh.Resources {
+				cs := st0.Contention[r]
+				if cs == nil || len(cs.Grants) != 1 {
+					t.Fatalf("no per-line contention stats on %s", r)
+				}
+				if cs.Grants[0] != sh.Grants[i] || cs.Waits[0] != sh.Waits[i] {
+					t.Fatalf("%s: per-line (%d,%d) != shared (%d,%d)", r, cs.Grants[0], cs.Waits[0], sh.Grants[i], sh.Waits[i])
+				}
+			}
+			// Determinism: the identical composition replays identically.
+			again, err := sys.Run(
+				sparcs.WithPolicy(policy),
+				sparcs.WithContention("M1+M3=corr:0.30/1"),
+				sparcs.WithSeed(11),
+				sparcs.WithMaxCycles(500_000),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again.SharedStats(), shared) {
+				t.Fatalf("identical runs diverged under %s", policy)
+			}
+		})
+	}
+}
+
+// TestSystemRunIndependence: runs compose per-call and leave no residue
+// on the System — a contended run between two quiet runs must not
+// change the second quiet run's outcome.
+func TestSystemRunIndependence(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(sparcs.WithPolicy("priority"), sparcs.WithContention("M1=bursty/1,M1+M3=corr:0.30/1"), sparcs.WithMaxCycles(500_000)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TotalCycles != second.TotalCycles || len(first.Stages) != len(second.Stages) {
+		t.Fatal("a contended run left residue on the System")
+	}
+	for si := range first.Stages {
+		if !reflect.DeepEqual(first.Stages[si].Stats, second.Stages[si].Stats) {
+			t.Fatalf("stage %d stats changed across runs", si)
+		}
+	}
+}
+
+func TestSystemRunErrors(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []sparcs.RunOption
+		want string
+	}{
+		{"bad policy", []sparcs.RunOption{sparcs.WithPolicy("nope")}, "unknown policy"},
+		{"policy size mismatch", []sparcs.RunOption{sparcs.WithPolicy("wrr:1,2")}, "unusable"},
+		{"size mismatch from contention", []sparcs.RunOption{sparcs.WithPolicy("hier:4"), sparcs.WithContention("M1=hog/1")}, "unusable"},
+		{"bad contention", []sparcs.RunOption{sparcs.WithContention("M1=notashape")}, "unknown workload"},
+		{"unknown contention resource", []sparcs.RunOption{sparcs.WithContention("M9=hog")}, "not arbitrated"},
+		{"unknown shared resource", []sparcs.RunOption{sparcs.WithContention("M1+M9=corr")}, "no single stage"},
+		{"never co-arbitrated", []sparcs.RunOption{sparcs.WithContention("M1+M4=corr")}, "no single stage"},
+		{"unknown capture", []sparcs.RunOption{sparcs.WithCapture("M9")}, "not arbitrated"},
+		{"nil memory", []sparcs.RunOption{sparcs.WithMemory(nil)}, "non-nil"},
+		{"negative max cycles", []sparcs.RunOption{sparcs.WithMaxCycles(-1)}, "non-negative"},
+	}
+	for _, c := range cases {
+		_, err := sys.Run(c.opts...)
+		if err == nil {
+			t.Errorf("%s: Run should error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestSystemPolicyValidatedAtSimulatedWidth: hier:3 divides the 6-line
+// M1 arbiter but not the 7-line one a phantom produces — the run must
+// fail up front with the widened width in the message.
+func TestSystemPolicyValidatedAtSimulatedWidth(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(sparcs.WithPolicy("hier:3")); err != nil {
+		// hier:3 serves the quiet design only if 3 | N for every arbiter
+		// (6, 2, 4): 2 and 4 fail, so even the quiet run errors — use the
+		// error text to confirm validation happened up front.
+		if !strings.Contains(err.Error(), "unusable") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	// wrr with exactly 6 weights works quietly (M1's arbiter is the only
+	// 6-line one it reaches? no: M3 has 2 and 4 lines). Use a policy
+	// valid quietly but invalid once widened: preemptive works always;
+	// instead check that the same spec's error message reports the
+	// widened line count.
+	_, err = sys.Run(sparcs.WithPolicy("wrr:1,1,1,1,1,1"), sparcs.WithContention("M1=hog/1"))
+	if err == nil {
+		t.Fatal("6-weight wrr must fail against the 7-line widened arbiter")
+	}
+	if !strings.Contains(err.Error(), "7-line") {
+		t.Fatalf("error should name the simulated width: %v", err)
+	}
+}
+
+func TestArbiterRangeErrorSentinel(t *testing.T) {
+	if _, err := sparcs.NewArbiter(1); !errors.Is(err, arbiter.ErrOutOfRange) {
+		t.Fatalf("NewArbiter(1) error %v does not wrap arbiter.ErrOutOfRange", err)
+	}
+	if _, err := sparcs.NewArbiter(arbiter.MaxN + 1); !errors.Is(err, arbiter.ErrOutOfRange) {
+		t.Fatal("NewArbiter above MaxN must wrap ErrOutOfRange")
+	}
+	if _, err := arbiter.Machine(99); !errors.Is(err, arbiter.ErrOutOfRange) {
+		t.Fatal("Machine(99) must wrap ErrOutOfRange")
+	}
+	if _, err := sparcs.NewPolicy("wrr:2", 17); !errors.Is(err, arbiter.ErrOutOfRange) {
+		t.Fatal("spec.New out of range must wrap ErrOutOfRange")
+	}
+	// The message text is unchanged from the pre-sentinel era.
+	err := arbiter.RangeError(1)
+	if got := err.Error(); got != "arbiter: N must be in [2,16], got 1" {
+		t.Fatalf("message %q changed", got)
+	}
+}
+
+// TestSystemCaptureColumnRoundTrip: a named capture tap yields a column
+// whose replayed width matches the arbiter, usable in a grid.
+func TestSystemCaptureColumnRoundTrip(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(sparcs.WithCapture("M1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := res.Column("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Name != "fft4x4:M1" {
+		t.Fatalf("column name %q", col.Name)
+	}
+	gen, err := col.New(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.N() != 6 {
+		t.Fatalf("replay width %d", gen.N())
+	}
+	// Un-tapped resources have no column.
+	if _, err := res.Column("M3"); err == nil {
+		t.Fatal("M3 was not captured; Column should error")
+	}
+	// And a quiet run has no columns at all.
+	quiet, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := quiet.Column("M1"); err == nil {
+		t.Fatal("run without WithCapture should have no columns")
+	}
+	// The M1 capture feeds a grid.
+	cells, err := workload.RunGridColumns([]string{"rr"}, []workload.Column{col}, workload.GridOptions{N: 6, Cycles: 5_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Workload != "fft4x4:M1" {
+		t.Fatalf("grid cells = %+v", cells)
+	}
+}
