@@ -534,3 +534,30 @@ func BenchmarkPolicyWorkload(b *testing.B) {
 	}
 	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
 }
+
+// BenchmarkPolicyWorkloadWide measures the bitset kernel at width: the
+// full behavioral policy set (every kind the uint64 kernel serves —
+// fsm/netlist excluded, they stop at MaxSynthN) under four traffic
+// shapes, at the pre-bitset cap N=16 and the full request word N=64.
+// Tracked in BENCH_sim.json next to the N=6 grid; allocs/op must stay 0
+// at both widths.
+func BenchmarkPolicyWorkloadWide(b *testing.B) {
+	policies := []string{"rr", "fifo", "priority", "random:1", "preemptive:4", "wrr:2", "hier:2"}
+	workloads := []string{"bernoulli:0.30", "hotspot:0.90", "hog", "trace"}
+	cells := len(policies) * len(workloads)
+	for _, n := range []int{16, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			ms, err := workload.RunGrid(policies, workloads, workload.GridOptions{N: n, Cycles: max(b.N, 1), Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, m := range ms {
+				if m.Violation != "" {
+					b.Fatalf("%s × %s: %s", m.Policy, m.Workload, m.Violation)
+				}
+			}
+			b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}

@@ -106,6 +106,24 @@ func runArbbench(o arbbenchOptions) error {
 	if o.n < arbiter.MinN || o.n > arbiter.MaxN {
 		return fmt.Errorf("arbbench: -n must be in [%d,%d], got %d", arbiter.MinN, arbiter.MaxN, o.n)
 	}
+	// Per-policy bounds differ: synthesized kinds (fsm, netlist) stop at
+	// arbiter.MaxSynthN while the behavioral bitset kernel runs to MaxN.
+	// Name the offending policy and its own bound instead of failing one
+	// grid cell deep.
+	policies := o.policies
+	if policies == nil {
+		policies = workload.DefaultPolicies()
+	}
+	for _, ps := range policies {
+		sp, err := arbiter.ParsePolicySpec(ps)
+		if err != nil {
+			return fmt.Errorf("arbbench: %w", err)
+		}
+		if max := sp.MaxN(); o.n > max {
+			return fmt.Errorf("arbbench: policy %s supports at most %d request lines, got -n %d (drop it from -policies to bench the wider kinds)",
+				ps, max, o.n)
+		}
+	}
 	if o.cycles < 1 {
 		return fmt.Errorf("arbbench: -cycles must be positive, got %d", o.cycles)
 	}

@@ -29,12 +29,18 @@ import (
 	"sparcs/internal/logic"
 )
 
-// MinN and MaxN bound the supported arbiter sizes. The paper's generator
-// was exercised for N in [2,10]; we allow the same range plus headroom for
-// ablations, limited by the FSM validator's exhaustive guard check.
+// MinN and MaxN bound the behavioral arbiter sizes; MaxSynthN bounds the
+// synthesized paths. The paper's generator was exercised for N in [2,10].
+// The bitset kernel steps behavioral policies on single uint64 request
+// words, so they reach MaxN = 64 — the NoC/multi-tenant sizes. The
+// symbolic machine (Machine, VHDL, and the fsm/netlist policies wrapping
+// it) keeps the historical 16 cap: the FSM validator exhaustively checks
+// every guard over all 2^N input vectors per state, which is intractable
+// beyond MaxSynthN.
 const (
-	MinN = 2
-	MaxN = 16
+	MinN      = 2
+	MaxN      = 64
+	MaxSynthN = 16
 )
 
 // ErrOutOfRange is the sentinel wrapped by every size-range rejection in
@@ -42,25 +48,33 @@ const (
 // size and renders the canonical message.
 var ErrOutOfRange = errors.New("arbiter: N out of range")
 
-type rangeError struct{ n int }
+type rangeError struct{ n, max int }
 
 func (e *rangeError) Error() string {
-	return fmt.Sprintf("arbiter: N must be in [%d,%d], got %d", MinN, MaxN, e.n)
+	if e.max == MaxSynthN {
+		return fmt.Sprintf("arbiter: N must be in [%d,%d] for synthesized (fsm/netlist) arbiters, got %d", MinN, e.max, e.n)
+	}
+	return fmt.Sprintf("arbiter: N must be in [%d,%d], got %d", MinN, e.max, e.n)
 }
 
 func (e *rangeError) Unwrap() error { return ErrOutOfRange }
 
-// RangeError returns the error every constructor reports for an arbiter
-// size outside [MinN, MaxN]. It wraps ErrOutOfRange.
-func RangeError(n int) error { return &rangeError{n: n} }
+// RangeError returns the error behavioral constructors report for an
+// arbiter size outside [MinN, MaxN]. It wraps ErrOutOfRange.
+func RangeError(n int) error { return &rangeError{n: n, max: MaxN} }
+
+// SynthRangeError is the error the synthesized paths (Machine, VHDL,
+// and the fsm/netlist policies) report for sizes outside
+// [MinN, MaxSynthN]. It wraps ErrOutOfRange like RangeError.
+func SynthRangeError(n int) error { return &rangeError{n: n, max: MaxSynthN} }
 
 // Machine builds the Figure 5 round-robin arbiter FSM for n tasks.
 //
 // State order is the paper's Φ = C1..CN, F1..FN with reset state F1 (no
 // holder, task 1 has priority). Inputs are R1..RN, outputs G1..GN.
 func Machine(n int) (*fsm.Machine, error) {
-	if n < MinN || n > MaxN {
-		return nil, RangeError(n)
+	if n < MinN || n > MaxSynthN {
+		return nil, SynthRangeError(n)
 	}
 	m := &fsm.Machine{
 		Name:  fmt.Sprintf("rr_arbiter_%d", n),

@@ -1,0 +1,105 @@
+// The bitset arbitration kernel: request and grant vectors packed into
+// single uint64 words, with the branchless rotate / isolate-lowest-set
+// round-robin scan high-speed parallel arbiters use in hardware. Every
+// behavioral policy in the package steps natively on BitVec words; the
+// []bool Step/StepInto surface remains as thin pack/unpack adapters.
+
+package arbiter
+
+import "math/bits"
+
+// BitVec packs a request or grant vector into one uint64 word, bit i
+// carrying line i. One word covers every supported behavioral arbiter
+// size (MaxN = 64), so a whole arbitration cycle — generator, scan,
+// safety checks — runs in registers instead of walking []bool lanes.
+type BitVec uint64
+
+// Mask returns the BitVec with the low n bits set — the valid-lane mask
+// of an n-line arbiter. n must be in [0, 64].
+func Mask(n int) BitVec {
+	if n >= 64 {
+		return ^BitVec(0)
+	}
+	return BitVec(1)<<uint(n) - 1
+}
+
+// Bit reports whether line i is set.
+func (v BitVec) Bit(i int) bool { return v>>uint(i)&1 != 0 }
+
+// Count returns the number of set lines (popcount).
+func (v BitVec) Count() int { return bits.OnesCount64(uint64(v)) }
+
+// FirstSet returns the index of the lowest set line, or -1 when v is
+// empty — the holder extraction for a one-hot grant word.
+func (v BitVec) FirstSet() int {
+	if v == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(v))
+}
+
+// PackBools packs b into a BitVec, bit i from b[i]. len(b) must be at
+// most 64.
+func PackBools(b []bool) BitVec {
+	var v BitVec
+	for i, x := range b {
+		if x {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// WriteBools unpacks the low len(dst) bits of v into dst.
+func (v BitVec) WriteBools(dst []bool) {
+	for i := range dst {
+		dst[i] = v&1 != 0
+		v >>= 1
+	}
+}
+
+// rotr rotates the low n bits of v right by s (0 <= s < n <= 64): bit s
+// lands on bit 0, so a cyclic priority scan starting at line s becomes
+// a find-lowest-set on the rotated word. Bits at or above n must be
+// clear on entry.
+func (v BitVec) rotr(s, n int) BitVec {
+	return (v>>uint(s) | v<<uint(n-s)) & Mask(n)
+}
+
+// BitStepper is the word-level fast path of Policy: StepBits arbitrates
+// one cycle entirely on BitVec words. Bits at or above N() in req are
+// ignored; the returned grant is one-hot (or zero) below N(). State
+// advances exactly as Step — the two surfaces are interchangeable
+// cycle-by-cycle, never mixed views of different decisions.
+//
+// Every behavioral policy in this package implements it. Gate-level
+// policies (fsm, netlist) and external policies may only provide the
+// []bool Step; AsBitStepper adapts those.
+type BitStepper interface {
+	StepBits(req BitVec) BitVec
+}
+
+// AsBitStepper returns p's word-level stepper: p itself when it
+// implements BitStepper, otherwise an adapter whose []bool scratch is
+// allocated once here, so per-cycle stepping stays allocation-free
+// either way.
+func AsBitStepper(p Policy) BitStepper {
+	if s, ok := p.(BitStepper); ok {
+		return s
+	}
+	n := p.N()
+	return &boolStepper{p: p, req: make([]bool, n), grant: make([]bool, n)}
+}
+
+// boolStepper packs and unpacks around the []bool surface of a policy
+// without a native word-level path.
+type boolStepper struct {
+	p          Policy
+	req, grant []bool
+}
+
+func (a *boolStepper) StepBits(req BitVec) BitVec {
+	req.WriteBools(a.req)
+	StepInto(a.p, a.req, a.grant)
+	return PackBools(a.grant)
+}

@@ -24,9 +24,11 @@ type Hierarchical struct {
 	groups int
 	size   int // tasks per group
 	name   string
-	holder int   // task holding the resource, or -1
-	top    int   // next group the cluster scan starts at
-	leaf   []int // per-group member offset the intra-cluster scan starts at
+	mask   BitVec
+	gmask  BitVec // low `size` bits: one cluster's request window
+	holder int    // task holding the resource, or -1
+	top    int    // next group the cluster scan starts at
+	leaf   []int  // per-group member offset the intra-cluster scan starts at
 	grants []bool
 }
 
@@ -47,6 +49,8 @@ func NewHierarchical(n, groups int) (*Hierarchical, error) {
 		groups: groups,
 		size:   n / groups,
 		name:   fmt.Sprintf("hierarchical-%dx%d", groups, n/groups),
+		mask:   Mask(n),
+		gmask:  Mask(n / groups),
 		holder: -1,
 		leaf:   make([]int, groups),
 		grants: make([]bool, n),
@@ -74,35 +78,49 @@ func (p *Hierarchical) Step(req []bool) []bool {
 	return p.grants
 }
 
-// StepInto implements InPlaceStepper: grant a still-requesting holder,
-// otherwise scan clusters cyclically from the top pointer and members
-// cyclically from the winning cluster's leaf pointer, advancing both
-// pointers past the grantee.
+// StepInto implements InPlaceStepper with the same semantics as
+// StepBits.
 func (p *Hierarchical) StepInto(req, grant []bool) {
-	if len(req) != p.n || len(grant) != p.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
-	}
-	for i := range grant {
-		grant[i] = false
-	}
-	if p.holder >= 0 && req[p.holder] {
-		grant[p.holder] = true
-		return
+	checkLanes(req, grant, p.n)
+	p.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: grant a still-requesting holder,
+// otherwise scan clusters cyclically from the top pointer — each
+// cluster's request window extracted as a size-bit word and scanned
+// with the same rotate / isolate-lowest-set kernel as the flat arbiter
+// — advancing both pointers past the grantee.
+func (p *Hierarchical) StepBits(req BitVec) BitVec {
+	req &= p.mask
+	if p.holder >= 0 && req.Bit(p.holder) {
+		return 1 << uint(p.holder)
 	}
 	for gi := 0; gi < p.groups; gi++ {
-		g := (p.top + gi) % p.groups
-		base := g * p.size
-		for mi := 0; mi < p.size; mi++ {
-			m := (p.leaf[g] + mi) % p.size
-			t := base + m
-			if req[t] {
-				grant[t] = true
-				p.holder = t
-				p.leaf[g] = (m + 1) % p.size
-				p.top = (g + 1) % p.groups
-				return
-			}
+		g := p.top + gi
+		if g >= p.groups {
+			g -= p.groups
 		}
+		base := g * p.size
+		w := req >> uint(base) & p.gmask
+		if w == 0 {
+			continue
+		}
+		m := p.leaf[g] + w.rotr(p.leaf[g], p.size).FirstSet()
+		if m >= p.size {
+			m -= p.size
+		}
+		t := base + m
+		p.holder = t
+		p.leaf[g] = m + 1
+		if p.leaf[g] == p.size {
+			p.leaf[g] = 0
+		}
+		p.top = g + 1
+		if p.top == p.groups {
+			p.top = 0
+		}
+		return 1 << uint(t)
 	}
 	p.holder = -1
+	return 0
 }

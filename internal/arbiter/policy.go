@@ -10,6 +10,10 @@ import "fmt"
 // never grant a non-requester. Fairness properties differ by policy; the
 // paper selects round-robin as the only one that is both fair and cheap in
 // hardware.
+//
+// Every behavioral policy in this package arbitrates natively on BitVec
+// words (see BitStepper); Step and StepInto are thin pack/unpack adapters
+// over the same state, so the two surfaces are interchangeable.
 type Policy interface {
 	// Name identifies the policy ("round-robin", "fifo", ...).
 	Name() string
@@ -54,18 +58,27 @@ func NewPolicy(name string, n int) (Policy, error) {
 	return sp.New(n)
 }
 
+// checkLanes panics on a request/grant slice whose length does not match
+// the policy width — the contract violation the []bool adapters guard.
+func checkLanes(req, grant []bool, n int) {
+	if len(req) != n || len(grant) != n {
+		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), n))
+	}
+}
+
 // RoundRobin is the behavioral reference for the Figure 5 FSM,
 // implemented independently of internal/fsm so the two can cross-check.
 type RoundRobin struct {
 	n        int
 	holder   int // task holding the resource, or -1
 	priority int // task with highest scan priority when free
+	mask     BitVec
 	grants   []bool
 }
 
 // NewRoundRobin returns a round-robin arbiter in state F1.
 func NewRoundRobin(n int) *RoundRobin {
-	return &RoundRobin{n: n, holder: -1, priority: 0, grants: make([]bool, n)}
+	return &RoundRobin{n: n, holder: -1, priority: 0, mask: Mask(n), grants: make([]bool, n)}
 }
 
 // Name implements Policy.
@@ -91,33 +104,36 @@ func (a *RoundRobin) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (a *RoundRobin) StepInto(req, grant []bool) {
-	if len(req) != a.n || len(grant) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
-	}
-	for i := range grant {
-		grant[i] = false
-	}
+	checkLanes(req, grant, a.n)
+	a.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: the cyclic priority scan as a
+// branchless rotate / isolate-lowest-set / rotate-back over the request
+// word — the parallel round-robin arbiter datapath.
+func (a *RoundRobin) StepBits(req BitVec) BitVec {
+	req &= a.mask
 	start := a.priority
 	if a.holder >= 0 {
 		start = a.holder
 	}
-	granted := -1
-	for k := 0; k < a.n; k++ {
-		t := (start + k) % a.n
-		if req[t] {
-			granted = t
-			break
-		}
-	}
-	if granted < 0 {
+	rot := req.rotr(start, a.n)
+	if rot == 0 {
 		if a.holder >= 0 {
-			a.priority = (a.holder + 1) % a.n // Ci --zeroes--> F(i+1)
+			a.priority = a.holder + 1 // Ci --zeroes--> F(i+1)
+			if a.priority == a.n {
+				a.priority = 0
+			}
 		}
 		a.holder = -1
-		return
+		return 0
 	}
-	a.holder = granted
-	grant[granted] = true
+	t := start + rot.FirstSet()
+	if t >= a.n {
+		t -= a.n
+	}
+	a.holder = t
+	return 1 << uint(t)
 }
 
 // State reports the symbolic FSM state the behavioral arbiter is in, for
@@ -142,10 +158,11 @@ func (a *RoundRobin) State() string {
 // allocates, no matter how long the run streams.
 type FIFO struct {
 	n      int
+	mask   BitVec
 	queue  []int
 	head   int // queue[head:] is live
-	queued []bool
-	prev   []bool
+	queued BitVec
+	prev   BitVec
 	grants []bool
 }
 
@@ -153,9 +170,8 @@ type FIFO struct {
 func NewFIFO(n int) *FIFO {
 	return &FIFO{
 		n:      n,
+		mask:   Mask(n),
 		queue:  make([]int, 0, 2*n),
-		queued: make([]bool, n),
-		prev:   make([]bool, n),
 		grants: make([]bool, n),
 	}
 }
@@ -170,10 +186,8 @@ func (a *FIFO) N() int { return a.n }
 func (a *FIFO) Reset() {
 	a.queue = a.queue[:0]
 	a.head = 0
-	for i := range a.queued {
-		a.queued[i] = false
-		a.prev[i] = false
-	}
+	a.queued = 0
+	a.prev = 0
 }
 
 // Step implements Policy.
@@ -184,21 +198,26 @@ func (a *FIFO) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (a *FIFO) StepInto(req, grant []bool) {
-	if len(req) != a.n || len(grant) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
-	}
+	checkLanes(req, grant, a.n)
+	a.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: rising edges (req & ^prev & ^queued)
+// enqueue in index order via successive lowest-set extraction, the head
+// drops non-requesters, and the head entry (if any) is granted.
+func (a *FIFO) StepBits(req BitVec) BitVec {
+	req &= a.mask
 	// Enqueue rising edges in index order (simultaneous arrivals tie-break
 	// by index, like a priority encoder feeding the queue).
-	for t := 0; t < a.n; t++ {
-		if req[t] && !a.prev[t] && !a.queued[t] {
-			a.queue = append(a.queue, t)
-			a.queued[t] = true
-		}
-		a.prev[t] = req[t]
+	for rising := req &^ a.prev &^ a.queued; rising != 0; rising &= rising - 1 {
+		t := rising.FirstSet()
+		a.queue = append(a.queue, t)
+		a.queued |= 1 << uint(t)
 	}
+	a.prev = req
 	// Drop head entries that no longer request (released or withdrawn).
-	for a.head < len(a.queue) && !req[a.queue[a.head]] {
-		a.queued[a.queue[a.head]] = false
+	for a.head < len(a.queue) && !req.Bit(a.queue[a.head]) {
+		a.queued &^= 1 << uint(a.queue[a.head])
 		a.head++
 	}
 	// Reclaim the dead prefix: immediately when the queue drains, or by
@@ -212,12 +231,10 @@ func (a *FIFO) StepInto(req, grant []bool) {
 		a.queue = a.queue[:copy(a.queue, a.queue[a.head:])]
 		a.head = 0
 	}
-	for i := range grant {
-		grant[i] = false
-	}
 	if a.head < len(a.queue) {
-		grant[a.queue[a.head]] = true
+		return 1 << uint(a.queue[a.head])
 	}
+	return 0
 }
 
 // Priority grants the lowest-indexed requester, except that a holder is
@@ -225,13 +242,14 @@ func (a *FIFO) StepInto(req, grant []bool) {
 // high-priority tasks can lock out low-priority ones indefinitely.
 type Priority struct {
 	n      int
+	mask   BitVec
 	holder int
 	grants []bool
 }
 
 // NewPriority returns a static-priority arbiter (task 1 highest).
 func NewPriority(n int) *Priority {
-	return &Priority{n: n, holder: -1, grants: make([]bool, n)}
+	return &Priority{n: n, mask: Mask(n), holder: -1, grants: make([]bool, n)}
 }
 
 // Name implements Policy.
@@ -251,24 +269,23 @@ func (a *Priority) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (a *Priority) StepInto(req, grant []bool) {
-	if len(req) != a.n || len(grant) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
+	checkLanes(req, grant, a.n)
+	a.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: a still-requesting holder persists,
+// otherwise the lowest set request bit wins (task 1 highest priority).
+func (a *Priority) StepBits(req BitVec) BitVec {
+	req &= a.mask
+	if a.holder >= 0 && req.Bit(a.holder) {
+		return 1 << uint(a.holder)
 	}
-	for i := range grant {
-		grant[i] = false
+	if req == 0 {
+		a.holder = -1
+		return 0
 	}
-	if a.holder >= 0 && req[a.holder] {
-		grant[a.holder] = true
-		return
-	}
-	a.holder = -1
-	for t := 0; t < a.n; t++ {
-		if req[t] {
-			a.holder = t
-			grant[t] = true
-			break
-		}
-	}
+	a.holder = req.FirstSet()
+	return req & -req // isolate the lowest set bit
 }
 
 // Random grants a pseudo-random requester (16-bit LFSR, deterministic),
@@ -276,6 +293,7 @@ func (a *Priority) StepInto(req, grant []bool) {
 // offers no worst-case wait bound.
 type Random struct {
 	n      int
+	mask   BitVec
 	lfsr   uint16
 	seed   uint16
 	holder int
@@ -288,7 +306,7 @@ func NewRandom(n int, seed uint16) *Random {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Random{n: n, lfsr: seed, seed: seed, holder: -1, grants: make([]bool, n)}
+	return &Random{n: n, mask: Mask(n), lfsr: seed, seed: seed, holder: -1, grants: make([]bool, n)}
 }
 
 // Name implements Policy.
@@ -311,25 +329,21 @@ func (a *Random) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (a *Random) StepInto(req, grant []bool) {
-	if len(req) != a.n || len(grant) != a.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), a.n))
-	}
-	for i := range grant {
-		grant[i] = false
-	}
-	if a.holder >= 0 && req[a.holder] {
-		grant[a.holder] = true
-		return
+	checkLanes(req, grant, a.n)
+	a.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: a still-requesting holder persists,
+// otherwise the k-th set request bit (k from the LFSR) wins.
+func (a *Random) StepBits(req BitVec) BitVec {
+	req &= a.mask
+	if a.holder >= 0 && req.Bit(a.holder) {
+		return 1 << uint(a.holder)
 	}
 	a.holder = -1
-	requesters := 0
-	for t := 0; t < a.n; t++ {
-		if req[t] {
-			requesters++
-		}
-	}
+	requesters := req.Count()
 	if requesters == 0 {
-		return
+		return 0
 	}
 	// Galois LFSR x^16 + x^14 + x^13 + x^11 + 1.
 	lsb := a.lfsr & 1
@@ -337,18 +351,12 @@ func (a *Random) StepInto(req, grant []bool) {
 	if lsb != 0 {
 		a.lfsr ^= 0xB400
 	}
-	// Pick the k-th requester by index, matching the slice-based original.
-	k := int(a.lfsr) % requesters
-	pick := -1
-	for t := 0; t < a.n; t++ {
-		if req[t] {
-			if k == 0 {
-				pick = t
-				break
-			}
-			k--
-		}
+	// Pick the k-th requester in index order, matching the slice-based
+	// original: clear k lowest set bits, then take the next.
+	v := req
+	for k := int(a.lfsr) % requesters; k > 0; k-- {
+		v &= v - 1
 	}
-	a.holder = pick
-	grant[pick] = true
+	a.holder = v.FirstSet()
+	return v & -v
 }

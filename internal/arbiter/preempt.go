@@ -19,7 +19,6 @@ type PreemptiveRoundRobin struct {
 	inner   *RoundRobin
 	heldFor int
 	grants  []bool
-	masked  []bool
 }
 
 // NewPreemptiveRoundRobin returns a preempting arbiter; maxHold must be
@@ -59,33 +58,32 @@ func (p *PreemptiveRoundRobin) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (p *PreemptiveRoundRobin) StepInto(req, grant []bool) {
-	if len(req) != p.n || len(grant) != p.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
-	}
+	checkLanes(req, grant, p.n)
+	p.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: the inner round-robin scan, with the
+// hog's request bit masked out for one step once it has held for
+// maxHold granted cycles while another task waits.
+func (p *PreemptiveRoundRobin) StepBits(req BitVec) BitVec {
+	req &= p.inner.mask
 	holder := p.inner.holder
-	othersWaiting := false
-	for t, r := range req {
-		if r && t != holder {
-			othersWaiting = true
-			break
-		}
+	var holderBit BitVec
+	if holder >= 0 {
+		holderBit = 1 << uint(holder)
 	}
-	if holder >= 0 && req[holder] && othersWaiting && p.heldFor >= p.maxHold {
+	if holder >= 0 && req&holderBit != 0 && req&^holderBit != 0 && p.heldFor >= p.maxHold {
 		// Revoke: mask the hog's request for this arbitration step so the
 		// scan passes it by; it stays eligible from the next cycle on.
-		if p.masked == nil {
-			p.masked = make([]bool, p.n)
-		}
-		copy(p.masked, req)
-		p.masked[holder] = false
-		p.inner.StepInto(p.masked, grant)
-		p.heldFor = currentHold(grant)
-		return
+		g := p.inner.StepBits(req &^ holderBit)
+		p.heldFor = grantHold(g)
+		return g
 	}
-	p.inner.StepInto(req, grant)
-	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && grant[holder] {
+	g := p.inner.StepBits(req)
+	if p.inner.holder == holder && holder >= 0 && g&holderBit != 0 {
 		p.heldFor++
 	} else {
-		p.heldFor = currentHold(grant)
+		p.heldFor = grantHold(g)
 	}
+	return g
 }

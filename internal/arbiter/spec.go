@@ -162,10 +162,25 @@ func (sp *PolicySpec) String() string {
 	return sp.Kind
 }
 
+// MaxN reports the largest arbiter width the spec's kind supports:
+// MaxSynthN for the synthesized kinds ("fsm", "netlist"), whose state
+// machines enumerate 2^N input combinations, and MaxN — the bitset
+// kernel's word width — for every behavioral kind.
+func (sp *PolicySpec) MaxN() int {
+	if sp.Kind == "fsm" || sp.Kind == "netlist" {
+		return MaxSynthN
+	}
+	return MaxN
+}
+
 // New instantiates the spec for an n-line arbiter, enforcing the
-// size-dependent constraints (weight counts, group divisibility).
+// size-dependent constraints (per-kind width bounds, weight counts,
+// group divisibility).
 func (sp *PolicySpec) New(n int) (Policy, error) {
-	if n < MinN || n > MaxN {
+	if max := sp.MaxN(); n < MinN || n > max {
+		if max == MaxSynthN {
+			return nil, SynthRangeError(n)
+		}
 		return nil, RangeError(n)
 	}
 	switch sp.Kind {

@@ -18,7 +18,6 @@ type WeightedRoundRobin struct {
 	inner   *RoundRobin
 	heldFor int
 	grants  []bool
-	masked  []bool
 }
 
 // NewWeightedRoundRobin returns a weighted round-robin arbiter; weights
@@ -40,7 +39,6 @@ func NewWeightedRoundRobin(n int, weights []int) (*WeightedRoundRobin, error) {
 		weights: append([]int(nil), weights...),
 		inner:   NewRoundRobin(n),
 		grants:  make([]bool, n),
-		masked:  make([]bool, n),
 	}, nil
 }
 
@@ -64,42 +62,42 @@ func (p *WeightedRoundRobin) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
 func (p *WeightedRoundRobin) StepInto(req, grant []bool) {
-	if len(req) != p.n || len(grant) != p.n {
-		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), p.n))
-	}
+	checkLanes(req, grant, p.n)
+	p.StepBits(PackBools(req)).WriteBools(grant)
+}
+
+// StepBits implements BitStepper: the inner round-robin scan, with the
+// holder's request bit masked out for one step once its quantum is
+// exhausted while another task waits.
+func (p *WeightedRoundRobin) StepBits(req BitVec) BitVec {
+	req &= p.inner.mask
 	holder := p.inner.holder
-	othersWaiting := false
-	for t, r := range req {
-		if r && t != holder {
-			othersWaiting = true
-			break
-		}
+	var holderBit BitVec
+	if holder >= 0 {
+		holderBit = 1 << uint(holder)
 	}
-	if holder >= 0 && req[holder] && othersWaiting && p.heldFor >= p.weights[holder] {
+	if holder >= 0 && req&holderBit != 0 && req&^holderBit != 0 && p.heldFor >= p.weights[holder] {
 		// Quantum exhausted: mask the holder's request for this
 		// arbitration step so the scan passes it by; it re-enters
 		// contention from the next cycle on.
-		copy(p.masked, req)
-		p.masked[holder] = false
-		p.inner.StepInto(p.masked, grant)
-		p.heldFor = currentHold(grant)
-		return
+		g := p.inner.StepBits(req &^ holderBit)
+		p.heldFor = grantHold(g)
+		return g
 	}
-	p.inner.StepInto(req, grant)
-	if newHolder := p.inner.holder; newHolder == holder && holder >= 0 && grant[holder] {
+	g := p.inner.StepBits(req)
+	if p.inner.holder == holder && holder >= 0 && g&holderBit != 0 {
 		p.heldFor++
 	} else {
-		p.heldFor = currentHold(grant)
+		p.heldFor = grantHold(g)
 	}
+	return g
 }
 
-// currentHold returns the hold count to restart from after a holder
+// grantHold returns the hold count to restart from after a holder
 // change: 1 if some task was just granted, 0 on an idle cycle.
-func currentHold(grants []bool) int {
-	for _, g := range grants {
-		if g {
-			return 1
-		}
+func grantHold(grant BitVec) int {
+	if grant != 0 {
+		return 1
 	}
 	return 0
 }

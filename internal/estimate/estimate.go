@@ -59,23 +59,31 @@ func (t *Table) Characterize(n int) (Entry, error) {
 	return e, nil
 }
 
+// estimateKneeN is the largest arbiter the synthesis flow can
+// characterize directly — arbiter.MaxSynthN, the FSM/netlist width cap.
+// The behavioral bitset policies scale to arbiter.MaxN, but area numbers
+// come from synthesizing the Figure 5 machine, so AreaFn extrapolates
+// linearly beyond this knee instead of raising it with MaxN.
+const estimateKneeN = arbiter.MaxSynthN
+
 // AreaFn adapts the table to the partitioner's arbiter-area callback.
-// Sizes outside the supported range fall back to linear extrapolation.
+// Sizes beyond the synthesizable knee (estimateKneeN) fall back to
+// linear extrapolation from the knee entry.
 func (t *Table) AreaFn() func(n int) int {
 	return func(n int) int {
 		if n < arbiter.MinN {
 			return 0
 		}
 		capped := n
-		if capped > arbiter.MaxN {
-			capped = arbiter.MaxN
+		if capped > estimateKneeN {
+			capped = estimateKneeN
 		}
 		e, err := t.Characterize(capped)
 		if err != nil {
 			return 0
 		}
-		if n > arbiter.MaxN {
-			return e.CLBs * n / arbiter.MaxN
+		if n > estimateKneeN {
+			return e.CLBs * n / estimateKneeN
 		}
 		return e.CLBs
 	}

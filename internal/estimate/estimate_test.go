@@ -46,7 +46,30 @@ func TestAreaFnBounds(t *testing.T) {
 		t.Error("N=4 should have positive area")
 	}
 	if fn(20) <= fn(10) {
-		t.Error("extrapolation beyond MaxN should grow")
+		t.Error("extrapolation beyond the knee should grow")
+	}
+}
+
+// TestAreaFnKnee pins the extrapolation knee to the synthesizable width
+// cap: behavioral policies run to arbiter.MaxN, but area still comes
+// from synthesizing a MaxSynthN machine and scaling linearly. A knee
+// accidentally raised to MaxN would make every n>16 estimate silently 0
+// (Characterize(64) cannot synthesize).
+func TestAreaFnKnee(t *testing.T) {
+	if estimateKneeN != 16 {
+		t.Fatalf("estimateKneeN = %d, want 16 (arbiter.MaxSynthN)", estimateKneeN)
+	}
+	tab := NewTable(synth.Synplify, fsm.OneHot)
+	fn := tab.AreaFn()
+	knee := fn(estimateKneeN)
+	if knee <= 0 {
+		t.Fatalf("area at the knee = %d, want positive", knee)
+	}
+	if got := fn(2 * estimateKneeN); got != 2*knee {
+		t.Errorf("fn(%d) = %d, want exactly 2*knee = %d", 2*estimateKneeN, got, 2*knee)
+	}
+	if got := fn(64); got <= 0 {
+		t.Errorf("fn(64) = %d, want positive (behavioral sizes must not estimate to 0)", got)
 	}
 }
 

@@ -1,6 +1,24 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"sparcs/internal/arbiter"
+)
+
+// BitRequester is the optional word-level fast path of Requester: a
+// source implementing it is driven directly on arbiter.BitVec words
+// (bit i = phantom line i), skipping the []bool pack/unpack entirely.
+// It is structurally identical to workload.BitGenerator, so the
+// workload generators take the fast path without an import cycle.
+// NextBits must advance the same state as Next — the two surfaces are
+// interchangeable cycle-by-cycle.
+type BitRequester interface {
+	// NextBits returns the request word for the coming cycle after
+	// observing prevGrant, the grants issued to these lines last cycle.
+	// Bits at or above N() are ignored.
+	NextBits(prevGrant arbiter.BitVec) arbiter.BitVec
+}
 
 // Requester is a closed-loop background traffic source for contention
 // injection: each cycle Next observes the grants its lines received
@@ -10,8 +28,9 @@ import "fmt"
 // (workload already imports sim for its grid fan-out).
 //
 // Implementations must be deterministic and allocation-free in Next;
-// Run slices its reusable request/grant vectors directly into the
-// callback, keeping the hot loop allocation-free.
+// Run passes setup-allocated scratch slices into the callback (or skips
+// []bool entirely for BitRequesters), keeping the hot loop
+// allocation-free.
 type Requester interface {
 	// Name identifies the traffic shape ("bursty", "hog", ...).
 	Name() string
@@ -72,11 +91,29 @@ type ContentionStats struct {
 }
 
 // contSource is one wired (non-elided) phantom source: its line window
-// [off, off+n) in the owning arbInst's request/grant vectors.
+// [off, off+n) in the owning arbInst's request/grant words. Sources
+// implementing BitRequester run word-to-word; the rest go through
+// setup-allocated []bool scratch.
 type contSource struct {
-	gen Requester
-	off int
-	n   int
+	gen  Requester
+	bits BitRequester // non-nil: the word-level fast path
+	off  int
+	n    int
+	mask arbiter.BitVec // low n bits
+	// []bool scratch for sources without a word-level path.
+	reqBuf, grantBuf []bool
+}
+
+// next produces the source's request word for the coming cycle from its
+// current request and previous-grant windows.
+func (cs *contSource) next(req, prevGrant arbiter.BitVec) arbiter.BitVec {
+	if cs.bits != nil {
+		return cs.bits.NextBits(prevGrant)
+	}
+	req.WriteBools(cs.reqBuf)
+	prevGrant.WriteBools(cs.grantBuf)
+	cs.gen.Next(cs.reqBuf, cs.grantBuf)
+	return arbiter.PackBools(cs.reqBuf)
 }
 
 // wireContention validates the configured sources and appends phantom
@@ -100,10 +137,20 @@ func wireContention(sources []ContentionSource, arbs map[string]*arbInst) error 
 		if s, ok := src.Gen.(StaticallySilent); ok && s.Silent() {
 			continue // the no-op path: statically silent sources are elided
 		}
+		if ai.width+n > arbiter.MaxN {
+			return fmt.Errorf("sim: contention on %s widens its arbiter to %d request lines; the bitset kernel supports at most %d",
+				src.Resource, ai.width+n, arbiter.MaxN)
+		}
 		src.Gen.Reset()
-		ai.sources = append(ai.sources, contSource{gen: src.Gen, off: len(ai.req), n: n})
-		ai.req = append(ai.req, make([]bool, n)...)
-		ai.grant = append(ai.grant, make([]bool, n)...)
+		cs := contSource{gen: src.Gen, off: ai.width, n: n, mask: arbiter.Mask(n)}
+		if b, ok := src.Gen.(BitRequester); ok {
+			cs.bits = b
+		} else {
+			cs.reqBuf = make([]bool, n)
+			cs.grantBuf = make([]bool, n)
+		}
+		ai.sources = append(ai.sources, cs)
+		ai.width += n
 	}
 	return nil
 }
@@ -112,7 +159,7 @@ func wireContention(sources []ContentionSource, arbs map[string]*arbInst) error 
 // — single-resource and shared — has widened its arbiters.
 func sizePhantoms(arbs map[string]*arbInst) {
 	for _, ai := range arbs {
-		if phantoms := len(ai.req) - ai.memberN; phantoms > 0 {
+		if phantoms := ai.width - ai.memberN; phantoms > 0 {
 			ai.phGrants = make([]int, phantoms)
 			ai.phWaits = make([]int, phantoms)
 		}

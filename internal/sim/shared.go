@@ -1,6 +1,21 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"sparcs/internal/arbiter"
+)
+
+// BitSharedRequester is the optional word-level fast path of
+// SharedRequester: NextBits rewrites req[r] (resource r's lane word,
+// bit j = lane j) in place after observing prevGrant[r], the grants
+// those lanes received last cycle. It is structurally identical to the
+// workload package's shared-source word surface, so correlated
+// generators take the fast path without an import cycle. NextBits must
+// advance the same state as Next.
+type BitSharedRequester interface {
+	NextBits(req, prevGrant []arbiter.BitVec)
+}
 
 // SharedRequester is a closed-loop background traffic source whose single
 // generator drives request lines on SEVERAL arbiters at once — the
@@ -18,8 +33,10 @@ import "fmt"
 //
 // Next is called once per cycle before any arbiter steps, observing the
 // previous cycle's grants on every resource coherently. Implementations
-// must be deterministic and allocation-free in Next; Run passes reusable
-// window views sliced directly into the arbiters' request/grant vectors.
+// must be deterministic and allocation-free in Next; Run passes
+// setup-allocated scratch buffers (or BitVec words, for
+// BitSharedRequesters) and copies the results into the arbiters'
+// request words.
 type SharedRequester interface {
 	// Name identifies the source ("corr:0.10").
 	Name() string
@@ -74,27 +91,54 @@ type SharedStats struct {
 	AllHeld int
 }
 
-// sharedInst is one wired shared source: per resource, the window
-// [offs[r], offs[r]+lanes) in arbs[r]'s request/grant vectors, plus the
-// reusable [][]bool views handed to Gen each cycle (built after all
-// widening so the backing arrays are final).
+// sharedInst is one wired shared source: per resource, the lane window
+// [offs[r], offs[r]+lanes) in arbs[r]'s request/grant words, plus
+// reusable per-resource scratch — BitVec words for BitSharedRequesters,
+// owned [][]bool buffers for sources with only the slice surface.
 type sharedInst struct {
 	gen       SharedRequester
+	bits      BitSharedRequester // non-nil: the word-level fast path
 	arbs      []*arbInst
 	offs      []int
 	lanes     int
-	reqView   [][]bool
+	laneMask  arbiter.BitVec   // low `lanes` bits
+	reqW      []arbiter.BitVec // per-resource lane-word scratch
+	prevW     []arbiter.BitVec
+	reqView   [][]bool // []bool scratch for slice-only sources
 	grantView [][]bool
 	stats     *SharedStats
+}
+
+// next refreshes the source's lane windows on every spanned resource
+// from one coherent snapshot of last cycle's grants.
+func (inst *sharedInst) next() {
+	for r, ai := range inst.arbs {
+		off := uint(inst.offs[r])
+		inst.reqW[r] = ai.req >> off & inst.laneMask
+		inst.prevW[r] = ai.grant >> off & inst.laneMask
+	}
+	if inst.bits != nil {
+		inst.bits.NextBits(inst.reqW, inst.prevW)
+	} else {
+		for r := range inst.arbs {
+			inst.reqW[r].WriteBools(inst.reqView[r])
+			inst.prevW[r].WriteBools(inst.grantView[r])
+		}
+		inst.gen.Next(inst.reqView, inst.grantView)
+		for r := range inst.arbs {
+			inst.reqW[r] = arbiter.PackBools(inst.reqView[r])
+		}
+	}
+	for r, ai := range inst.arbs {
+		off := uint(inst.offs[r])
+		ai.req = ai.req&^(inst.laneMask<<off) | (inst.reqW[r]&inst.laneMask)<<off
+	}
 }
 
 // wireShared validates the configured shared sources and appends their
 // lanes to the named arbiters. Called after wireContention (shared lanes
 // sit after single-resource phantom lines) and before policy
 // construction, so policies are sized over the fully widened counts.
-// Window views are NOT built here — req/grant backing arrays may still
-// reallocate while later sources widen the same arbiter; bindShared runs
-// once all widening is done.
 func wireShared(sources []SharedSource, arbs map[string]*arbInst) ([]*sharedInst, error) {
 	var insts []*sharedInst
 	for i, src := range sources {
@@ -123,10 +167,19 @@ func wireShared(sources []SharedSource, arbs map[string]*arbInst) ([]*sharedInst
 		if s, ok := src.Gen.(StaticallySilent); ok && s.Silent() {
 			continue // statically silent sources are elided, like ContentionSources
 		}
+		for _, r := range resources {
+			if ai := arbs[r]; ai.width+lanes > arbiter.MaxN {
+				return nil, fmt.Errorf("sim: shared source %d (%s) widens the arbiter on %s to %d request lines; the bitset kernel supports at most %d",
+					i, src.Gen.Name(), r, ai.width+lanes, arbiter.MaxN)
+			}
+		}
 		src.Gen.Reset()
 		inst := &sharedInst{
-			gen:   src.Gen,
-			lanes: lanes,
+			gen:      src.Gen,
+			lanes:    lanes,
+			laneMask: arbiter.Mask(lanes),
+			reqW:     make([]arbiter.BitVec, len(resources)),
+			prevW:    make([]arbiter.BitVec, len(resources)),
 			stats: &SharedStats{
 				Name:      src.Gen.Name(),
 				Resources: append([]string(nil), resources...),
@@ -134,32 +187,25 @@ func wireShared(sources []SharedSource, arbs map[string]*arbInst) ([]*sharedInst
 				Waits:     make([]int, len(resources)),
 			},
 		}
+		if b, ok := src.Gen.(BitSharedRequester); ok {
+			inst.bits = b
+		} else {
+			inst.reqView = make([][]bool, len(resources))
+			inst.grantView = make([][]bool, len(resources))
+			for r := range resources {
+				inst.reqView[r] = make([]bool, lanes)
+				inst.grantView[r] = make([]bool, lanes)
+			}
+		}
 		for _, r := range resources {
 			ai := arbs[r]
 			inst.arbs = append(inst.arbs, ai)
-			inst.offs = append(inst.offs, len(ai.req))
-			ai.req = append(ai.req, make([]bool, lanes)...)
-			ai.grant = append(ai.grant, make([]bool, lanes)...)
+			inst.offs = append(inst.offs, ai.width)
+			ai.width += lanes
 		}
 		insts = append(insts, inst)
 	}
 	return insts, nil
-}
-
-// bindShared builds the per-resource window views into the (now final)
-// request/grant backing arrays. The three-index slice expressions pin
-// each window's capacity so a misbehaving generator cannot append past
-// its lanes into a neighbouring window.
-func bindShared(insts []*sharedInst) {
-	for _, inst := range insts {
-		inst.reqView = make([][]bool, len(inst.arbs))
-		inst.grantView = make([][]bool, len(inst.arbs))
-		for r, ai := range inst.arbs {
-			off := inst.offs[r]
-			inst.reqView[r] = ai.req[off : off+inst.lanes : off+inst.lanes]
-			inst.grantView[r] = ai.grant[off : off+inst.lanes : off+inst.lanes]
-		}
-	}
 }
 
 // observe accumulates this cycle's cross-resource statistics from the
@@ -170,13 +216,13 @@ func bindShared(insts []*sharedInst) {
 func (inst *sharedInst) observe() {
 	for j := 0; j < inst.lanes; j++ {
 		held, want, all := false, false, true
-		for r := range inst.arbs {
-			g := inst.grantView[r][j]
+		for r, ai := range inst.arbs {
+			bit := arbiter.BitVec(1) << uint(inst.offs[r]+j)
 			switch {
-			case g:
+			case ai.grant&bit != 0:
 				held = true
 				inst.stats.Grants[r]++
-			case inst.reqView[r][j]:
+			case ai.req&bit != 0:
 				want = true
 				inst.stats.Waits[r]++
 				all = false

@@ -18,10 +18,11 @@
 //
 // The per-cycle path is allocation-free: programs are precompiled so
 // every resource/segment/channel name resolves to a pointer or dense
-// index once at setup, arbiters step through arbiter.StepInto into
-// reusable request/grant vectors, and memory accesses index interned
-// dense pages (see Memory). Only trace recording and violation capture
-// allocate, amortized through chunked arenas.
+// index once at setup, request and grant vectors are single
+// arbiter.BitVec words stepped through the policies' word-level
+// BitStepper surface, and memory accesses index interned dense pages
+// (see Memory). Only trace recording and violation capture allocate,
+// amortized through chunked arenas.
 package sim
 
 import (
@@ -121,40 +122,45 @@ type Stats struct {
 	Shared []*SharedStats
 }
 
-// arbInst is one arbiter instance with its reusable request/grant
-// vectors and trace arena. With contention attached, req/grant cover
-// memberN task lines followed by the phantom sources' line windows, and
+// arbInst is one arbiter instance with its request/grant state packed
+// into single BitVec words (bit i = request line i) and its trace arena.
+// With contention attached, the low memberN bits are the member tasks'
+// lines followed by the phantom sources' line windows up to width, and
 // traces record the full widened width.
 type arbInst struct {
-	res      string
-	spec     partition.ArbiterSpec
-	policy   arbiter.Policy
-	index    map[string]int // task -> line (setup only)
-	memberN  int            // request lines belonging to member tasks
-	req      []bool
-	grant    []bool
-	grants   int  // member grants, flushed to Stats.GrantsByRes after the run
-	capture  bool // record per-cycle traces for this arbiter
-	trace    []arbiter.TraceStep
-	arena    []bool       // chunked backing for trace req/grant copies
-	sources  []contSource // background phantom requesters
-	phGrants []int        // per phantom line, flushed to Stats.Contention
-	phWaits  []int
+	res        string
+	spec       partition.ArbiterSpec
+	policy     arbiter.Policy
+	stepper    arbiter.BitStepper // word-level fast path of policy
+	index      map[string]int     // task -> line (setup only)
+	memberN    int                // request lines belonging to member tasks
+	width      int                // total request lines (members + phantoms)
+	memberMask arbiter.BitVec     // low memberN bits
+	req        arbiter.BitVec
+	grant      arbiter.BitVec
+	grants     int  // member grants, flushed to Stats.GrantsByRes after the run
+	capture    bool // record per-cycle traces for this arbiter
+	trace      []arbiter.TraceStep
+	arena      []bool       // chunked backing for trace req/grant copies
+	sources    []contSource // background phantom requesters
+	phGrants   []int        // per phantom line, flushed to Stats.Contention
+	phWaits    []int
 }
 
-// record appends this cycle's request/grant vectors to the trace,
-// carving the copies out of a chunked arena instead of two fresh
-// allocations per cycle.
+// record appends this cycle's request/grant words to the trace, unpacked
+// into []bool copies carved out of a chunked arena — the TraceStep
+// surface (and its byte layout) is unchanged from the slice-based
+// simulator.
 func (ai *arbInst) record() {
-	n := len(ai.req)
+	n := ai.width
 	if len(ai.arena) < 2*n {
 		ai.arena = make([]bool, 2*n*1024)
 	}
 	rq := ai.arena[0:n:n]
 	gr := ai.arena[n : 2*n : 2*n]
 	ai.arena = ai.arena[2*n:]
-	copy(rq, ai.req)
-	copy(gr, ai.grant)
+	ai.req.WriteBools(rq)
+	ai.grant.WriteBools(gr)
 	ai.trace = append(ai.trace, arbiter.TraceStep{Req: rq, Grant: gr})
 }
 
@@ -164,13 +170,14 @@ func (ai *arbInst) record() {
 // channel register by channel name, memory segment by name — is
 // resolved once at setup.
 type cinstr struct {
-	op   behav.Op
-	res  string   // resolved resource name (violations) or channel name (errors)
-	ai   *arbInst // arbiter guarding the op's resource; nil = unarbitrated
-	line int      // this task's request line on ai; -1 = not a member
-	conf int      // conflict-resource index; -1 = private / conflict-free
-	seg  int      // interned memory segment ID (OpRead/OpWrite)
-	ch   *chanReg // channel register (OpSend/OpRecv); nil = unknown channel
+	op      behav.Op
+	res     string         // resolved resource name (violations) or channel name (errors)
+	ai      *arbInst       // arbiter guarding the op's resource; nil = unarbitrated
+	line    int            // this task's request line on ai; -1 = not a member
+	lineBit arbiter.BitVec // 1<<line, or 0 when not a member
+	conf    int            // conflict-resource index; -1 = private / conflict-free
+	seg     int            // interned memory segment ID (OpRead/OpWrite)
+	ch      *chanReg       // channel register (OpSend/OpRecv); nil = unknown channel
 
 	addr   int
 	stride int
@@ -254,21 +261,26 @@ func Run(cfg Config) (*Stats, error) {
 	// sorted resource order (hoisted out of the loop).
 	arbs := map[string]*arbInst{}
 	for _, spec := range cfg.Arbiters {
+		if spec.N() > arbiter.MaxN {
+			return nil, fmt.Errorf("sim: arbiter on %s has %d request lines; the bitset kernel supports at most %d",
+				spec.Resource, spec.N(), arbiter.MaxN)
+		}
 		ai := &arbInst{
-			res:     spec.Resource,
-			spec:    spec,
-			index:   map[string]int{},
-			memberN: spec.N(),
-			req:     make([]bool, spec.N()),
-			grant:   make([]bool, spec.N()),
+			res:        spec.Resource,
+			spec:       spec,
+			index:      map[string]int{},
+			memberN:    spec.N(),
+			width:      spec.N(),
+			memberMask: arbiter.Mask(spec.N()),
 		}
 		for i, t := range spec.Members {
 			ai.index[t] = i
 		}
 		arbs[spec.Resource] = ai
 	}
-	// Phantom lines widen req/grant before the policies are sized:
-	// single-resource sources first, then shared multi-resource lanes.
+	// Phantom lines widen the request words before the policies are
+	// sized: single-resource sources first, then shared multi-resource
+	// lanes.
 	if err := wireContention(cfg.Contention, arbs); err != nil {
 		return nil, err
 	}
@@ -277,7 +289,6 @@ func Run(cfg Config) (*Stats, error) {
 		return nil, err
 	}
 	sizePhantoms(arbs)
-	bindShared(shared) // backing arrays are final now; views are safe
 	// Per-resource trace taps: nil CaptureOnly records everything.
 	captureSet := map[string]bool{}
 	for _, r := range cfg.CaptureOnly {
@@ -287,10 +298,13 @@ func Run(cfg Config) (*Stats, error) {
 		ai.capture = !cfg.DisableTraces && (cfg.CaptureOnly == nil || captureSet[ai.res])
 	}
 	// Construct policies in cfg.Arbiters order (not map order), so a
-	// stateful NewPolicy closure sees a deterministic call sequence.
+	// stateful NewPolicy closure sees a deterministic call sequence. Each
+	// policy is stepped through its word-level surface: natively for
+	// BitSteppers, via a setup-allocated []bool adapter otherwise.
 	for _, spec := range cfg.Arbiters {
 		ai := arbs[spec.Resource]
-		ai.policy = newPolicy(len(ai.req))
+		ai.policy = newPolicy(ai.width)
+		ai.stepper = arbiter.AsBitStepper(ai.policy)
 	}
 	arbList := make([]*arbInst, 0, len(arbs))
 	for _, ai := range arbs {
@@ -368,6 +382,9 @@ func Run(cfg Config) (*Stats, error) {
 					}
 				}
 			}
+			if ci.line >= 0 {
+				ci.lineBit = 1 << uint(ci.line)
+			}
 			ts.code[i] = ci
 		}
 		tasks = append(tasks, ts)
@@ -412,24 +429,24 @@ func Run(cfg Config) (*Stats, error) {
 		// spanning several resources sees one coherent grant snapshot
 		// instead of a mix of old and new decisions.
 		for _, inst := range shared {
-			inst.gen.Next(inst.reqView, inst.grantView)
+			inst.next()
 		}
 		for _, ai := range arbList {
-			for _, cs := range ai.sources {
-				cs.gen.Next(ai.req[cs.off:cs.off+cs.n], ai.grant[cs.off:cs.off+cs.n])
+			for i := range ai.sources {
+				cs := &ai.sources[i]
+				off := uint(cs.off)
+				out := cs.next(ai.req>>off&cs.mask, ai.grant>>off&cs.mask)
+				ai.req = ai.req&^(cs.mask<<off) | (out&cs.mask)<<off
 			}
-			arbiter.StepInto(ai.policy, ai.req, ai.grant)
-			for _, g := range ai.grant[:ai.memberN] {
-				if g {
-					ai.grants++
-				}
-			}
+			ai.grant = ai.stepper.StepBits(ai.req)
+			ai.grants += (ai.grant & ai.memberMask).Count()
 			if ai.phGrants != nil {
-				for i, g := range ai.grant[ai.memberN:] {
+				for i := range ai.phGrants {
+					bit := arbiter.BitVec(1) << uint(ai.memberN+i)
 					switch {
-					case g:
+					case ai.grant&bit != 0:
 						ai.phGrants[i]++
-					case ai.req[ai.memberN+i]:
+					case ai.req&bit != 0:
 						ai.phWaits[i]++
 					}
 				}
@@ -476,7 +493,7 @@ func Run(cfg Config) (*Stats, error) {
 				in := &ts.code[ts.pc]
 				if in.op == behav.OpWaitGrant {
 					if in.ai != nil {
-						if in.line >= 0 && in.ai.grant[in.line] {
+						if in.ai.grant&in.lineBit != 0 {
 							advance(ts)
 							continue
 						}
@@ -533,7 +550,7 @@ func Run(cfg Config) (*Stats, error) {
 						touched = append(touched, in.conf)
 					}
 					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
-					if in.ai != nil && in.line >= 0 && !in.ai.grant[in.line] {
+					if in.ai != nil && in.line >= 0 && in.ai.grant&in.lineBit == 0 {
 						stats.Violations = append(stats.Violations, Violation{
 							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
 						})
@@ -558,7 +575,7 @@ func Run(cfg Config) (*Stats, error) {
 						touched = append(touched, in.conf)
 					}
 					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
-					if in.ai != nil && in.line >= 0 && !in.ai.grant[in.line] {
+					if in.ai != nil && in.line >= 0 && in.ai.grant&in.lineBit == 0 {
 						stats.Violations = append(stats.Violations, Violation{
 							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
 						})
@@ -581,13 +598,13 @@ func Run(cfg Config) (*Stats, error) {
 				}
 				// Not valid yet: block (consume the cycle).
 			case behav.OpReq:
-				if in.ai != nil && in.line >= 0 {
-					in.ai.req[in.line] = true
+				if in.ai != nil {
+					in.ai.req |= in.lineBit
 				}
 				advance(ts)
 			case behav.OpRelease:
-				if in.ai != nil && in.line >= 0 {
-					in.ai.req[in.line] = false
+				if in.ai != nil {
+					in.ai.req &^= in.lineBit
 				}
 				advance(ts)
 			default:

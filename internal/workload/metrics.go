@@ -198,15 +198,22 @@ func histBucket(wait int) int {
 
 // Drive runs generator g against policy p for the given number of
 // cycles and returns the aggregated metrics. The hot loop is
-// allocation-free: requests and grants live in two reusable vectors,
-// the policy steps through the InPlaceStepper fast path when it has
-// one, and every metric (wait histogram, episode counters, fairness
-// inputs, online safety checks) updates incrementally — no trace is
-// recorded, so multi-million-cycle runs cost O(N) memory.
+// allocation-free and runs on single request/grant words: the generator
+// produces one BitVec per cycle (directly for BitGenerators, through
+// setup-allocated scratch otherwise), the policy steps through the
+// word-level BitStepper fast path, the online safety checks are single
+// word operations (mutual exclusion = popcount ≤ 1, grant ⊆ request =
+// grant &^ req == 0, work conservation = grant presence matches request
+// presence), and every metric (wait histogram, episode counters,
+// fairness inputs) updates incrementally — no trace is recorded, so
+// multi-million-cycle runs cost O(N) memory.
 func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 	n := p.N()
 	if g.N() != n {
 		return nil, fmt.Errorf("workload: generator %s has %d lines, policy %s has %d", g.Name(), g.N(), p.Name(), n)
+	}
+	if n > arbiter.MaxN {
+		return nil, fmt.Errorf("workload: policy %s has %d lines; the bitset engine supports at most %d", p.Name(), n, arbiter.MaxN)
 	}
 	if cycles < 1 {
 		return nil, fmt.Errorf("workload: cycles must be positive, got %d", cycles)
@@ -218,9 +225,14 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 		Cycles:   cycles,
 		Tasks:    make([]TaskMetrics, n),
 	}
-	stepper, fast := p.(arbiter.InPlaceStepper)
-	req := make([]bool, n)
-	grant := make([]bool, n)
+	stepper := arbiter.AsBitStepper(p)
+	bg, bitGen := g.(BitGenerator)
+	var reqBuf, grantBuf []bool
+	if !bitGen {
+		reqBuf = make([]bool, n)
+		grantBuf = make([]bool, n)
+	}
+	var req, grant arbiter.BitVec
 	waiting := make([]bool, n)
 	waitStart := make([]int, n)
 	episodes := make([]int, n)
@@ -235,33 +247,28 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 	for cycle := 0; cycle < cycles; cycle++ {
 		// grant still holds last cycle's decision — the closed-loop
 		// feedback the generators react to.
-		g.Next(req, grant)
-		if fast {
-			stepper.StepInto(req, grant)
+		if bitGen {
+			req = bg.NextBits(grant)
 		} else {
-			arbiter.StepInto(p, req, grant)
+			req.WriteBools(reqBuf)
+			grant.WriteBools(grantBuf)
+			g.Next(reqBuf, grantBuf)
+			req = arbiter.PackBools(reqBuf)
 		}
+		grant = stepper.StepBits(req)
 
-		holder, granted := -1, 0
-		anyReq := false
-		for i := 0; i < n; i++ {
-			anyReq = anyReq || req[i]
-			if grant[i] {
-				granted++
-				holder = i
-				m.Tasks[i].Grants++
-			}
-		}
+		granted := grant.Count()
+		holder := grant.FirstSet()
 		if granted > 1 {
 			violate(cycle, "mutual-exclusion")
 		}
-		if holder >= 0 && !req[holder] {
+		if grant&^req != 0 {
 			violate(cycle, "grant-implies-request")
 		}
-		if anyReq != (holder >= 0) {
+		if (req != 0) != (holder >= 0) {
 			violate(cycle, "work-conservation")
 		}
-		if anyReq {
+		if req != 0 {
 			m.DemandCycles++
 		}
 		if holder >= 0 {
@@ -271,8 +278,10 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 
 		for i := 0; i < n; i++ {
 			t := &m.Tasks[i]
+			bit := arbiter.BitVec(1) << uint(i)
 			switch {
-			case grant[i]:
+			case grant&bit != 0:
+				t.Grants++
 				if i != prevHolder {
 					wait := 0
 					if waiting[i] {
@@ -287,7 +296,7 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 				}
 				waiting[i] = false
 				episodes[i] = 0
-			case req[i]:
+			case req&bit != 0:
 				if !waiting[i] {
 					waiting[i] = true
 					waitStart[i] = cycle

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"sparcs/internal/arbiter"
 )
 
 // SharedSource is a closed-loop generator spanning several arbitrated
@@ -48,6 +50,8 @@ type SharedSource struct {
 	stage []int
 	// Per lane: all-held cycles accumulated toward the hold time.
 	heldFor []int
+	// Per-resource lane-word scratch for the []bool Next adapter.
+	reqW, prevW []arbiter.BitVec
 }
 
 // NewShared returns a correlated source over the named resources in
@@ -72,6 +76,9 @@ func NewShared(resources []string, lanes int, p float64, hold int, seed uint64) 
 	if lanes < 1 {
 		return nil, fmt.Errorf("workload: shared source lanes must be positive, got %d", lanes)
 	}
+	if lanes > arbiter.MaxN {
+		return nil, fmt.Errorf("workload: shared source lanes must be at most %d (one request word), got %d", arbiter.MaxN, lanes)
+	}
 	if err := checkRate("corr", p); err != nil {
 		return nil, err
 	}
@@ -87,6 +94,8 @@ func NewShared(resources []string, lanes int, p float64, hold int, seed uint64) 
 		hold:      hold,
 		stage:     make([]int, lanes),
 		heldFor:   make([]int, lanes),
+		reqW:      make([]arbiter.BitVec, len(resources)),
+		prevW:     make([]arbiter.BitVec, len(resources)),
 	}
 	s.Reset()
 	return s, nil
@@ -113,8 +122,25 @@ func (s *SharedSource) Reset() {
 // Next advances every lane one cycle: consume last cycle's grants, then
 // fill req[r][j] for resource r, lane j. Allocation-free.
 func (s *SharedSource) Next(req, prevGrant [][]bool) {
+	for r := range s.resources {
+		s.prevW[r] = arbiter.PackBools(prevGrant[r])
+	}
+	s.NextBits(s.reqW, s.prevW)
+	for r := range s.resources {
+		s.reqW[r].WriteBools(req[r])
+	}
+}
+
+// NextBits is the word-level core of Next (bit j of each word = lane j);
+// it implements sim.BitSharedRequester, rewriting req[r] in place. The
+// draw order matches the slice surface exactly.
+func (s *SharedSource) NextBits(req, prevGrant []arbiter.BitVec) {
 	k := len(s.resources)
+	for r := 0; r < k; r++ {
+		req[r] = 0
+	}
 	for j := 0; j < s.lanes; j++ {
+		bit := arbiter.BitVec(1) << uint(j)
 		// One draw per lane per cycle regardless of state, so arrivals
 		// are policy-independent.
 		arrive := s.streams[j].chance(s.p)
@@ -127,7 +153,7 @@ func (s *SharedSource) Next(req, prevGrant [][]bool) {
 			// Waiting on resource stage[j]: advance when its grant lands.
 			// Several may land in back-to-back cycles; latch one per cycle
 			// (the request for the next resource only went up last cycle).
-			if prevGrant[s.stage[j]][j] {
+			if prevGrant[s.stage[j]]&bit != 0 {
 				s.stage[j]++
 			}
 		}
@@ -136,7 +162,7 @@ func (s *SharedSource) Next(req, prevGrant [][]bool) {
 			// simultaneously (preemption can take one away mid-hold).
 			all := true
 			for r := 0; r < k; r++ {
-				if !prevGrant[r][j] {
+				if prevGrant[r]&bit == 0 {
 					all = false
 					break
 				}
@@ -151,8 +177,14 @@ func (s *SharedSource) Next(req, prevGrant [][]bool) {
 		}
 		// Request lines: everything acquired so far plus the one being
 		// waited on; idle lanes release everything.
-		for r := 0; r < k; r++ {
-			req[r][j] = s.stage[j] >= 0 && r <= s.stage[j]
+		if s.stage[j] >= 0 {
+			top := s.stage[j]
+			if top >= k {
+				top = k - 1
+			}
+			for r := 0; r <= top; r++ {
+				req[r] |= bit
+			}
 		}
 	}
 }

@@ -1,7 +1,7 @@
 // Package workload is a deterministic synthetic request-traffic engine
 // for exercising arbitration policies standalone, outside the full
 // system simulator: it drives any arbiter.Policy at millions of cycles
-// per second through the InPlaceStepper fast path, under traffic shapes
+// per second through the word-level BitStepper fast path, under traffic shapes
 // the paper's single FFT case study never produces — uniform Bernoulli
 // arrivals, bursty on/off sources, hotspot skew, Markov-modulated load
 // regimes, an adversarial hog, and recorded-trace replay.
@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"sparcs/internal/arbiter"
 )
 
 // Generator produces one request vector per cycle. Next fills req for
@@ -36,6 +38,18 @@ type Generator interface {
 	// Reset returns the generator to its initial state, including the
 	// random stream.
 	Reset()
+}
+
+// BitGenerator is the word-level fast path of Generator: NextBits
+// returns the request word for the coming cycle (bit i = line i) after
+// observing prevGrant, the grants issued last cycle. It advances the
+// same state as Next — the two surfaces are interchangeable
+// cycle-by-cycle, and every generator in this package implements both
+// (NextBits is the core; Next is a pack/unpack adapter). It is
+// structurally identical to sim.BitRequester, so sources attached as
+// simulator contention take the simulator's word-level path too.
+type BitGenerator interface {
+	NextBits(prevGrant arbiter.BitVec) arbiter.BitVec
 }
 
 // rng is a splitmix64 pseudo-random stream: tiny, allocation-free, and
@@ -116,24 +130,37 @@ func (b *bernoulli) Reset() {
 }
 
 func (b *bernoulli) Next(req, prevGrant []bool) {
+	b.NextBits(arbiter.PackBools(prevGrant)).WriteBools(req)
+}
+
+// NextBits implements BitGenerator: the same draws in the same order as
+// the slice surface, assembled into one request word.
+func (b *bernoulli) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
+	var req arbiter.BitVec
 	for i := 0; i < b.n; i++ {
 		// One draw per task per cycle, consumed unconditionally, so the
 		// arrival stream is independent of grant history.
 		arrive := b.streams[i].chance(b.p[i])
 		if b.pin != nil && b.pin[i] {
-			req[i] = true
+			req |= 1 << uint(i)
 			continue
 		}
-		if b.jobs.serve(i, prevGrant[i]) && arrive {
+		if b.jobs.serve(i, prevGrant.Bit(i)) && arrive {
 			b.jobs.need[i] = b.jobs.hold
 		}
-		req[i] = b.jobs.need[i] > 0
+		if b.jobs.need[i] > 0 {
+			req |= 1 << uint(i)
+		}
 	}
+	return req
 }
 
 // NewBernoulli returns uniform Bernoulli traffic: every idle task
 // starts a hold-cycle job with probability p each cycle.
 func NewBernoulli(n int, p float64, hold int, seed uint64) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	if err := checkRate("bernoulli", p); err != nil {
 		return nil, err
 	}
@@ -151,6 +178,9 @@ func NewBernoulli(n int, p float64, hold int, seed uint64) (Generator, error) {
 // pHot, every other task with pHot/8 — the single-popular-resource
 // contention pattern.
 func NewHotspot(n int, pHot float64, hold int, seed uint64) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	if err := checkRate("hotspot", pHot); err != nil {
 		return nil, err
 	}
@@ -170,6 +200,9 @@ func NewHotspot(n int, pHot float64, hold int, seed uint64) (Generator, error) {
 // load. Non-preemptive policies let the hog starve everyone once
 // granted; preemptive and weighted policies bound its hold.
 func NewHog(n int, seed uint64) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	ps := make([]float64, n)
 	for i := range ps {
 		ps[i] = 0.25
@@ -199,6 +232,9 @@ type bursty struct {
 // NewBursty returns on/off burst traffic: mean bursts of 20 cycles at
 // 0.9 arrival probability separated by mean 60-cycle silences.
 func NewBursty(n int, seed uint64) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	return &bursty{
 		n: n, seed: seed, streams: taskStreams(seed, n),
 		on:     make([]bool, n),
@@ -219,6 +255,12 @@ func (b *bursty) Reset() {
 }
 
 func (b *bursty) Next(req, prevGrant []bool) {
+	b.NextBits(arbiter.PackBools(prevGrant)).WriteBools(req)
+}
+
+// NextBits implements BitGenerator.
+func (b *bursty) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
+	var req arbiter.BitVec
 	for i := 0; i < b.n; i++ {
 		// Two draws per task per cycle (state flip, arrival), consumed
 		// unconditionally: the on/off trajectory and arrival stream are
@@ -232,11 +274,14 @@ func (b *bursty) Next(req, prevGrant []bool) {
 		} else if float64(flip>>11)*(1.0/(1<<53)) < b.pOffOn {
 			b.on[i] = true
 		}
-		if b.jobs.serve(i, prevGrant[i]) && b.on[i] && arrive {
+		if b.jobs.serve(i, prevGrant.Bit(i)) && b.on[i] && arrive {
 			b.jobs.need[i] = b.jobs.hold
 		}
-		req[i] = b.jobs.need[i] > 0
+		if b.jobs.need[i] > 0 {
+			req |= 1 << uint(i)
+		}
 	}
+	return req
 }
 
 // markov is the globally modulated source: a two-state regime chain
@@ -259,6 +304,9 @@ type markov struct {
 // 0.05) punctuated by storms (arrival 0.85) with mean lengths 200 and
 // 50 cycles.
 func NewMarkov(n int, seed uint64) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	return &markov{
 		n: n, seed: seed, regime: rng{state: seed}, streams: taskStreams(seed, n),
 		pCalmStorm: 1.0 / 200, pStormCalm: 1.0 / 50,
@@ -278,6 +326,11 @@ func (m *markov) Reset() {
 }
 
 func (m *markov) Next(req, prevGrant []bool) {
+	m.NextBits(arbiter.PackBools(prevGrant)).WriteBools(req)
+}
+
+// NextBits implements BitGenerator.
+func (m *markov) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
 	// The regime chain and per-task arrival draws advance every cycle
 	// regardless of grant feedback, keeping the offered traffic
 	// identical across policies.
@@ -292,13 +345,17 @@ func (m *markov) Next(req, prevGrant []bool) {
 	if m.storm {
 		p = m.pStorm
 	}
+	var req arbiter.BitVec
 	for i := 0; i < m.n; i++ {
 		arrive := m.streams[i].chance(p)
-		if m.jobs.serve(i, prevGrant[i]) && arrive {
+		if m.jobs.serve(i, prevGrant.Bit(i)) && arrive {
 			m.jobs.need[i] = m.jobs.hold
 		}
-		req[i] = m.jobs.need[i] > 0
+		if m.jobs.need[i] > 0 {
+			req |= 1 << uint(i)
+		}
 	}
+	return req
 }
 
 // silent is the zero-rate source: it never requests. Its Silent marker
@@ -310,8 +367,8 @@ type silent struct{ n int }
 // NewSilent returns the zero-rate generator: n lines that never
 // request. It implements sim.StaticallySilent.
 func NewSilent(n int) (Generator, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("workload: N must be positive, got %d", n)
+	if err := checkN(n); err != nil {
+		return nil, err
 	}
 	return &silent{n: n}, nil
 }
@@ -329,27 +386,37 @@ func (s *silent) Next(req, prevGrant []bool) {
 	}
 }
 
+// NextBits implements BitGenerator.
+func (s *silent) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec { return 0 }
+
 // trace replays a recorded request pattern cyclically — the open-loop
-// shape: requests do not react to grants, exactly as captured.
+// shape: requests do not react to grants, exactly as captured. Steps
+// are packed into BitVec words at construction, so replay is one word
+// load per cycle.
 type trace struct {
 	name  string
 	n     int
-	steps [][]bool
+	steps []arbiter.BitVec
 	pos   int
 }
 
 // NewTrace returns a generator replaying steps cyclically. Every step
 // must have exactly n request lines.
 func NewTrace(name string, n int, steps [][]bool) (Generator, error) {
+	if err := checkN(n); err != nil {
+		return nil, err
+	}
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("workload: trace %q has no steps", name)
 	}
+	packed := make([]arbiter.BitVec, len(steps))
 	for c, s := range steps {
 		if len(s) != n {
 			return nil, fmt.Errorf("workload: trace %q step %d has %d lines, want %d", name, c, len(s), n)
 		}
+		packed[c] = arbiter.PackBools(s)
 	}
-	return &trace{name: name, n: n, steps: steps}, nil
+	return &trace{name: name, n: n, steps: packed}, nil
 }
 
 func (t *trace) Name() string { return t.name }
@@ -357,11 +424,17 @@ func (t *trace) N() int       { return t.n }
 func (t *trace) Reset()       { t.pos = 0 }
 
 func (t *trace) Next(req, prevGrant []bool) {
-	copy(req, t.steps[t.pos])
+	t.NextBits(arbiter.PackBools(prevGrant)).WriteBools(req)
+}
+
+// NextBits implements BitGenerator.
+func (t *trace) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
+	step := t.steps[t.pos]
 	t.pos++
 	if t.pos == len(t.steps) {
 		t.pos = 0
 	}
+	return step
 }
 
 // builtinTrace builds the canonical recorded pattern the registry
@@ -394,6 +467,19 @@ func checkRate(shape string, p float64) error {
 	return nil
 }
 
+// checkN bounds generator widths to one request word: the whole engine
+// — generators, Drive, the simulator's contention lanes — packs request
+// vectors into single BitVec words.
+func checkN(n int) error {
+	if n < 1 {
+		return fmt.Errorf("workload: N must be positive, got %d", n)
+	}
+	if n > arbiter.MaxN {
+		return fmt.Errorf("workload: N must be at most %d (one request word), got %d", arbiter.MaxN, n)
+	}
+	return nil
+}
+
 // NewGenerator constructs a workload by name with a "shape:param"
 // grammar mirroring arbiter.ParsePolicySpec:
 //
@@ -405,8 +491,8 @@ func checkRate(shape string, p float64) error {
 //	trace           the built-in staggered/burst/silence replay
 //	silent          zero-rate: never requests (elided as contention)
 func NewGenerator(spec string, n int, seed uint64) (Generator, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("workload: N must be positive, got %d", n)
+	if err := checkN(n); err != nil {
+		return nil, err
 	}
 	shape, param := spec, ""
 	if i := strings.IndexByte(spec, ':'); i >= 0 {

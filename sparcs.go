@@ -29,7 +29,21 @@
 // Result.SharedStats), WithCapture taps per-cycle request/grant traces
 // for capture→replay experiments, and WithSeed/WithMaxCycles/WithMemory
 // pin determinism, watchdogs, and memory images. Runs are independent
-// and safe to issue concurrently.
+// and safe to issue concurrently; System.Sweep fans a slice of
+// experiment option-sets over GOMAXPROCS workers.
+//
+// # Policy sizes
+//
+// Arbitration steps on a bitset kernel (arbiter.BitVec): request and
+// grant vectors are single uint64 words from workload generator through
+// policy scan to the online safety checks. The behavioral policies —
+// rr, fifo, priority, random, preemptive, wrr, hier — therefore accept
+// 2 to 64 request lines (arbiter.MaxN, one word) with allocation-free
+// stepping. The synthesized kinds, fsm and netlist:*, interpret the
+// paper's actual Figure 5 machine and its gate-level netlists and stop
+// at 16 lines (arbiter.MaxSynthN); arbiter.PolicySpec.MaxN reports the
+// bound for a parsed spec, and out-of-range sizes fail with errors
+// wrapping arbiter.ErrOutOfRange.
 //
 // # Under the facade
 //
@@ -301,8 +315,12 @@ func Simulate(d *core.Design, mem *sim.Memory, opts core.Options) (*core.RunResu
 type SweepPoint = core.SweepPoint
 
 // SimulateSweep runs independent design simulations concurrently across
-// GOMAXPROCS workers — the fan-out behind the paper-table sweeps. Points
-// must not share Memory instances. Results come back in input order.
+// GOMAXPROCS workers. Points must not share Memory instances. Results
+// come back in input order.
+//
+// Deprecated: use System.Sweep, which fans out composable RunOption
+// sets over one compiled System instead of threading explicit
+// (design, memory, options) triples.
 func SimulateSweep(points []SweepPoint) ([]*core.RunResult, error) {
 	return core.SimulateSweep(points)
 }

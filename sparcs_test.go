@@ -94,12 +94,12 @@ func TestRunFFTCaseStudyPublicAPI(t *testing.T) {
 // TestNewArbiterRange sweeps both out-of-range sides of the public
 // constructor.
 func TestNewArbiterRange(t *testing.T) {
-	for _, n := range []int{-1, 0, 1, 17, 100} {
+	for _, n := range []int{-1, 0, 1, 65, 100} {
 		if _, err := sparcs.NewArbiter(n); err == nil {
 			t.Fatalf("N=%d should be rejected", n)
 		}
 	}
-	for _, n := range []int{2, 16} {
+	for _, n := range []int{2, 16, 17, 64} {
 		if _, err := sparcs.NewArbiter(n); err != nil {
 			t.Fatalf("N=%d should be accepted: %v", n, err)
 		}
@@ -114,8 +114,16 @@ func TestNewPolicyErrors(t *testing.T) {
 	if _, err := sparcs.NewPolicy("round-robin", 1); err == nil {
 		t.Fatal("N=1 should be rejected")
 	}
-	if _, err := sparcs.NewPolicy("round-robin", 17); err == nil {
-		t.Fatal("N=17 should be rejected")
+	if _, err := sparcs.NewPolicy("round-robin", 65); err == nil {
+		t.Fatal("N=65 should be rejected")
+	}
+	// Synthesized kinds keep the 2^N state-machine cap even though the
+	// behavioral kinds now run to 64.
+	if _, err := sparcs.NewPolicy("fsm", 17); err == nil {
+		t.Fatal("fsm at N=17 should be rejected")
+	}
+	if _, err := sparcs.NewPolicy("netlist:one-hot", 17); err == nil {
+		t.Fatal("netlist at N=17 should be rejected")
 	}
 }
 

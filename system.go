@@ -358,6 +358,27 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 	return &Result{RunResult: res, system: s}, nil
 }
 
+// Sweep runs one experiment per option set concurrently across
+// GOMAXPROCS workers — the compile-once fan-out behind the paper-table
+// sweeps. Each experiment is an independent Run composed from its own
+// RunOption slice (nil means the baseline run), so option sets must not
+// share stateful values like a WithMemory image. Results come back in
+// input order; the first failing experiment (by input order) reports its
+// error with its index.
+func (s *System) Sweep(experiments ...[]RunOption) ([]*Result, error) {
+	out := make([]*Result, len(experiments))
+	errs := make([]error, len(experiments))
+	sim.ParallelFor(len(experiments), func(i int) {
+		out[i], errs[i] = s.Run(experiments[i]...)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sparcs: sweep experiment %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
 // validateCapture rejects capture taps naming resources no stage
 // arbitrates — the same typo guard contention specs get.
 func (s *System) validateCapture(resources []string) error {

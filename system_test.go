@@ -321,13 +321,19 @@ func TestArbiterRangeErrorSentinel(t *testing.T) {
 	if _, err := arbiter.Machine(99); !errors.Is(err, arbiter.ErrOutOfRange) {
 		t.Fatal("Machine(99) must wrap ErrOutOfRange")
 	}
-	if _, err := sparcs.NewPolicy("wrr:2", 17); !errors.Is(err, arbiter.ErrOutOfRange) {
+	if _, err := sparcs.NewPolicy("wrr:2", arbiter.MaxN+1); !errors.Is(err, arbiter.ErrOutOfRange) {
 		t.Fatal("spec.New out of range must wrap ErrOutOfRange")
 	}
-	// The message text is unchanged from the pre-sentinel era.
+	if _, err := sparcs.NewPolicy("fsm", arbiter.MaxSynthN+1); !errors.Is(err, arbiter.ErrOutOfRange) {
+		t.Fatal("synthesized spec.New above MaxSynthN must wrap ErrOutOfRange")
+	}
 	err := arbiter.RangeError(1)
-	if got := err.Error(); got != "arbiter: N must be in [2,16], got 1" {
+	if got := err.Error(); got != "arbiter: N must be in [2,64], got 1" {
 		t.Fatalf("message %q changed", got)
+	}
+	err = arbiter.SynthRangeError(17)
+	if got := err.Error(); got != "arbiter: N must be in [2,16] for synthesized (fsm/netlist) arbiters, got 17" {
+		t.Fatalf("synth message %q changed", got)
 	}
 }
 
@@ -375,5 +381,53 @@ func TestSystemCaptureColumnRoundTrip(t *testing.T) {
 	}
 	if len(cells) != 1 || cells[0].Workload != "fft4x4:M1" {
 		t.Fatalf("grid cells = %+v", cells)
+	}
+}
+
+// TestSystemSweep: Sweep fans experiment option-sets over one compiled
+// System and returns per-experiment results identical to calling Run
+// sequentially — same composition semantics, same no-residue guarantee,
+// just parallel.
+func TestSystemSweep(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments := [][]sparcs.RunOption{
+		nil,
+		{sparcs.WithPolicy("fifo")},
+		{sparcs.WithPolicy("priority")},
+		{sparcs.WithPolicy("wrr:2"), sparcs.WithContention("M1=bursty/1"), sparcs.WithMaxCycles(500_000)},
+	}
+	got, err := sys.Sweep(experiments...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(experiments) {
+		t.Fatalf("Sweep returned %d results for %d experiments", len(got), len(experiments))
+	}
+	for i, opts := range experiments {
+		want, err := sys.Run(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].TotalCycles != want.TotalCycles || len(got[i].Stages) != len(want.Stages) {
+			t.Fatalf("experiment %d: sweep %d cycles / %d stages, sequential %d / %d",
+				i, got[i].TotalCycles, len(got[i].Stages), want.TotalCycles, len(want.Stages))
+		}
+		for si := range want.Stages {
+			if !reflect.DeepEqual(got[i].Stages[si].Stats, want.Stages[si].Stats) {
+				t.Fatalf("experiment %d stage %d: sweep stats diverge from sequential Run", i, si)
+			}
+		}
+	}
+	// A failing experiment reports its index; earlier successes are
+	// discarded rather than half-returned.
+	_, err = sys.Sweep(nil, []sparcs.RunOption{sparcs.WithPolicy("nope")})
+	if err == nil {
+		t.Fatal("Sweep with a bad experiment should error")
+	}
+	if !strings.Contains(err.Error(), "sweep experiment 1") || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("error %q should name the failing experiment and cause", err)
 	}
 }
