@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sparcs/internal/analysis"
+	"sparcs/internal/analysis/vettest"
+)
+
+// Each analyzer runs over a seeded-violation testdata tree: wrong code
+// must be flagged exactly where the `// want` expectations say, clean
+// and out-of-scope code must stay silent.
+
+func TestHotpath(t *testing.T) {
+	vettest.Run(t, "testdata/hotpath", analysis.Hotpath, "hot")
+}
+
+func TestDeterminism(t *testing.T) {
+	vettest.Run(t, "testdata/determinism", analysis.Determinism, "sparcs/internal/sim", "other")
+}
+
+func TestBitwidth(t *testing.T) {
+	vettest.Run(t, "testdata/bitwidth", analysis.Bitwidth, "sparcs/internal/arbiter", "other")
+}
+
+func TestErrSentinel(t *testing.T) {
+	vettest.Run(t, "testdata/errsentinel", analysis.ErrSentinel, "errsent")
+}
+
+// TestIgnores exercises the //sparcs:ignore machinery end to end:
+// trailing and standalone suppression, per-analyzer scoping, and the
+// driver's malformed/unused reporting.
+func TestIgnores(t *testing.T) {
+	vettest.Run(t, "testdata/ignore", analysis.Hotpath, "ign")
+}

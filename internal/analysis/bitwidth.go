@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// bitwidthPkgs are the cycle-rate packages where request vectors live
+// on single BitVec words and the MinN/MaxN/MaxSynthN bounds apply.
+var bitwidthPkgs = map[string]bool{
+	"sparcs/internal/arbiter":  true,
+	"sparcs/internal/sim":      true,
+	"sparcs/internal/workload": true,
+}
+
+// arbiterPkg is where BitVec and the width constants are declared.
+const arbiterPkg = "sparcs/internal/arbiter"
+
+// Bitwidth enforces the PR 6 bitset kernel's word discipline in the
+// cycle-rate packages: shifts on a BitVec word must provably stay below
+// 64 (a shift count that is constant ≥ 64 or derived by untyped
+// arithmetic silently clears the word, Go masks nothing for typed
+// shifts), []bool request vectors must not be constructed on hot paths
+// (the PackBools/WriteBools adapters exist for the boundary), and the
+// literals 16 and 64 must not stand in for MaxSynthN/MaxN in bound
+// comparisons.
+var Bitwidth = &Analyzer{
+	Name: "bitwidth",
+	Doc:  "flag BitVec shifts that can reach 64, hot-path []bool construction, and magic 16/64 width bounds",
+	Run:  runBitwidth,
+}
+
+func runBitwidth(pass *Pass) error {
+	if !bitwidthPkgs[pass.Package.Path] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.SHL, token.SHR:
+					if isBitVec(info.TypeOf(n.X)) && info.Types[n].Value == nil {
+						checkShiftCount(pass, info, n.Y)
+					}
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+					checkMagicBound(pass, info, n.X, n.Y)
+					checkMagicBound(pass, info, n.Y, n.X)
+				}
+			case *ast.AssignStmt:
+				if (n.Tok == token.SHL_ASSIGN || n.Tok == token.SHR_ASSIGN) && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if isBitVec(info.TypeOf(n.Lhs[0])) {
+						checkShiftCount(pass, info, n.Rhs[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	checkHotBoolVectors(pass)
+	return nil
+}
+
+// checkShiftCount inspects the count expression of a BitVec shift. A
+// constant count ≥ 64 always clears the word; a count computed with
+// +,-,* arithmetic has no syntactic bound and can reach 64 (Go does not
+// mask shift counts), so it must be guarded or rewritten — a plain
+// bounded variable is accepted.
+func checkShiftCount(pass *Pass, info *types.Info, count ast.Expr) {
+	if tv, ok := info.Types[count]; ok && tv.Value != nil {
+		if v, exact := constantInt(tv); exact && v >= 64 {
+			pass.Reportf(count.Pos(), "shift count %d always clears a 64-bit BitVec word", v)
+		}
+		return
+	}
+	var arith ast.Expr
+	ast.Inspect(count, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && arith == nil {
+			switch b.Op {
+			case token.ADD, token.SUB, token.MUL:
+				if tv, ok := info.Types[b]; !ok || tv.Value == nil {
+					arith = b
+				}
+			}
+		}
+		return arith == nil
+	})
+	if arith != nil {
+		pass.Reportf(count.Pos(), "shift count computed by arithmetic can reach 64 and clear the BitVec word; bound it explicitly")
+	}
+}
+
+// checkMagicBound flags a bare 16 or 64 literal compared against a
+// non-constant value — the width bounds have names (MaxSynthN, MaxN).
+func checkMagicBound(pass *Pass, info *types.Info, lit, other ast.Expr) {
+	bl, ok := ast.Unparen(lit).(*ast.BasicLit)
+	if !ok || bl.Kind != token.INT {
+		return
+	}
+	var name string
+	switch bl.Value {
+	case "16":
+		name = "MaxSynthN"
+	case "64":
+		name = "MaxN"
+	default:
+		return
+	}
+	if tv, ok := info.Types[other]; ok && tv.Value != nil {
+		return // constant-vs-constant comparisons are not bound checks
+	}
+	if !isIntegerType(info.TypeOf(other)) {
+		return
+	}
+	pass.Reportf(bl.Pos(), "magic width literal %s in a bound comparison; use arbiter.%s", bl.Value, name)
+}
+
+// checkHotBoolVectors walks the package's //sparcs:hotpath regions
+// (following same-package static calls) and flags []bool construction:
+// request vectors on the cycle path live on BitVec words, with
+// PackBools/WriteBools at the boundary.
+func checkHotBoolVectors(pass *Pass) {
+	info := pass.TypesInfo
+	visited := map[*types.Func]bool{}
+	var walk func(region ast.Node)
+	walk = func(region ast.Node) {
+		ast.Inspect(region, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				if cl, ok := n.(*ast.CompositeLit); ok && isBoolSlice(info.TypeOf(cl)) {
+					pass.Reportf(cl.Pos(), "[]bool request vector built on the cycle path; keep requests on a BitVec and convert with PackBools/WriteBools")
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" && len(call.Args) >= 1 {
+					if tv, ok := info.Types[call.Args[0]]; ok && tv.IsType() && isBoolSlice(tv.Type) {
+						pass.Reportf(call.Pos(), "[]bool request vector built on the cycle path; keep requests on a BitVec and convert with PackBools/WriteBools")
+					}
+					return true
+				}
+			}
+			if fn := staticCallee(info, call); fn != nil && !visited[fn] {
+				visited[fn] = true
+				if decl := pass.Package.Funcs[fn]; decl != nil && decl.Body != nil {
+					walk(decl.Body)
+				}
+			}
+			return true
+		})
+	}
+	for _, mark := range pass.Package.HotMarks() {
+		if fd, ok := mark.(*ast.FuncDecl); ok {
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				visited[fn] = true
+			}
+			if fd.Body != nil {
+				walk(fd.Body)
+			}
+			continue
+		}
+		walk(mark)
+	}
+}
+
+// isBitVec reports whether t is (or aliases) arbiter.BitVec.
+func isBitVec(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "BitVec" && obj.Pkg() != nil && obj.Pkg().Path() == arbiterPkg
+}
+
+func isBoolSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// constantInt extracts an exact integer from a constant TypeAndValue.
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

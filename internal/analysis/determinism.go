@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinismPkgs are the packages whose behaviour must be a pure
+// function of configuration and seed: every differential proof in the
+// repo (slice-vs-bitset equivalence, contention-injection closure,
+// batch-vs-serial identity) depends on byte-identical replays.
+var determinismPkgs = map[string]bool{
+	"sparcs/internal/arbiter":  true,
+	"sparcs/internal/core":     true,
+	"sparcs/internal/sim":      true,
+	"sparcs/internal/workload": true,
+}
+
+// parallelForPkg/parallelForFunc name the one blessed goroutine spawn
+// point: sim.ParallelFor, whose deterministic fan-in is itself tested.
+const (
+	parallelForPkg  = "sparcs/internal/sim"
+	parallelForFunc = "ParallelFor"
+)
+
+// Determinism forbids the nondeterminism sources that would silently
+// break replay identity in the cycle-rate packages: map range iteration
+// (unless the body only collects keys for sorting), wall-clock reads
+// (time.Now/Since/Until), the global math/rand state, and goroutine
+// spawns anywhere but sim.ParallelFor.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid map iteration, wall clocks, global rand, and stray goroutines in the deterministic core packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !determinismPkgs[pass.Package.Path] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			goAllowed := pass.Package.Path == parallelForPkg && fd.Name.Name == parallelForFunc
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if _, isMap := info.TypeOf(n.X).Underlying().(*types.Map); isMap && !keyCollectLoop(info, n) {
+						pass.Reportf(n.Pos(), "map range iteration order is nondeterministic; collect and sort the keys first")
+					}
+				case *ast.GoStmt:
+					if !goAllowed {
+						pass.Reportf(n.Pos(), "goroutine spawn outside sim.ParallelFor breaks deterministic scheduling")
+					}
+				case *ast.Ident:
+					checkDeterminismUse(pass, info, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkDeterminismUse flags references to wall clocks and the global
+// math/rand state.
+func checkDeterminismUse(pass *Pass, info *types.Info, id *ast.Ident) {
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock; cycle-rate code must be clock-free", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(id.Pos(), "global %s.%s is shared nondeterministic state; use a seeded rand.New(rand.NewSource(seed)) or the package rng", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// keyCollectLoop recognizes the blessed sort-the-keys idiom: a map
+// range whose body is exactly `keys = append(keys, k)` (the caller is
+// expected to sort before iterating the slice).
+func keyCollectLoop(info *types.Info, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || rng.Body == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	a0, ok0 := ast.Unparen(call.Args[0]).(*ast.Ident)
+	a1, ok1 := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok0 && ok1 && a0.Name == dst.Name && a1.Name == key.Name
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrSentinel enforces the module's error-matching discipline: sentinel
+// errors (package-level error values like arbiter.ErrOutOfRange, and
+// typed errors like SynthRangeError) are wrapped with %w so they
+// survive fmt.Errorf chains, and matched with errors.Is/errors.As —
+// never with ==, type assertions, or err.Error() string matching, all
+// of which break the moment a wrapping layer is inserted.
+var ErrSentinel = &Analyzer{
+	Name: "errsentinel",
+	Doc:  "require %w wrapping and errors.Is/errors.As matching for sentinel errors; forbid == and string comparison",
+	Run:  runErrSentinel,
+}
+
+func runErrSentinel(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, info, n)
+					checkErrorStringCompare(pass, info, n)
+				}
+			case *ast.TypeAssertExpr:
+				if implementsError(info.TypeOf(n.X)) {
+					pass.Reportf(n.Pos(), "type assertion on an error misses wrapped errors; use errors.As")
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, info, n)
+				checkStringsMatch(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare flags `err == ErrX` / `err != ErrX` where ErrX
+// is a package-level error value.
+func checkSentinelCompare(pass *Pass, info *types.Info, cmp *ast.BinaryExpr) {
+	if sentinelName(info, cmp.X) != "" || sentinelName(info, cmp.Y) != "" {
+		name := sentinelName(info, cmp.X)
+		if name == "" {
+			name = sentinelName(info, cmp.Y)
+		}
+		pass.Reportf(cmp.Pos(), "%s comparison with %s misses wrapped errors; use errors.Is", cmp.Op, name)
+	}
+}
+
+// sentinelName returns the name of a package-level error variable
+// referenced by e, or "".
+func sentinelName(info *types.Info, e ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !implementsError(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// checkErrorStringCompare flags `err.Error() == "..."` comparisons.
+func checkErrorStringCompare(pass *Pass, info *types.Info, cmp *ast.BinaryExpr) {
+	if isErrorCall(info, cmp.X) || isErrorCall(info, cmp.Y) {
+		pass.Reportf(cmp.Pos(), "matching errors by Error() string breaks under wrapping and rewording; use errors.Is")
+	}
+}
+
+// checkStringsMatch flags err.Error() fed into strings matching
+// functions (Contains, HasPrefix, ...).
+func checkStringsMatch(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index", "Count":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorCall(info, arg) {
+			pass.Reportf(call.Pos(), "matching errors by Error() string breaks under wrapping and rewording; use errors.Is")
+			return
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that interpolate an error
+// without %w: the sentinel becomes unreachable for errors.Is.
+func checkErrorfWrap(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if implementsError(info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted without %%w is invisible to errors.Is; wrap it with %%w")
+		}
+	}
+}
+
+// isErrorCall reports whether e is a call of the Error() string method
+// on an error value.
+func isErrorCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return implementsError(info.TypeOf(sel.X))
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// rawPkg is one package discovered for loading but not yet parsed or
+// type-checked.
+type rawPkg struct {
+	path    string
+	dir     string
+	goFiles []string // absolute paths, non-test files only
+	root    bool
+}
+
+// listedPkg is the subset of `go list -json` output the loaders use.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads the packages matching patterns (and their
+// module-local dependencies) from source in module mode, resolving
+// external dependencies through the build cache's export data. dir is
+// the directory to resolve patterns from (the module root, typically
+// ".").
+func LoadPackages(dir string, patterns ...string) (*Module, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	raw := map[string]*rawPkg{}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Module != nil && !p.Standard {
+			if modPath == "" {
+				modPath = p.Module.Path
+			}
+			files := make([]string, 0, len(p.GoFiles))
+			for _, f := range p.GoFiles {
+				files = append(files, filepath.Join(p.Dir, f))
+			}
+			raw[p.ImportPath] = &rawPkg{path: p.ImportPath, dir: p.Dir, goFiles: files, root: !p.DepOnly}
+		} else if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("go list %s: no module-local packages matched", strings.Join(patterns, " "))
+	}
+	return check(modPath, raw, exports)
+}
+
+// LoadTree loads paths from a GOPATH-style source tree rooted at
+// srcdir (testdata/src layout): each path's package directory is
+// srcdir/<path>, local imports resolve within srcdir, and anything else
+// resolves as a standard-library import. The named paths become the
+// analysis roots.
+func LoadTree(srcdir string, paths ...string) (*Module, error) {
+	raw := map[string]*rawPkg{}
+	external := map[string]bool{}
+	var discover func(path string, root bool) error
+	discover = func(path string, root bool) error {
+		if p, ok := raw[path]; ok {
+			p.root = p.root || root
+			return nil
+		}
+		pkgDir := filepath.Join(srcdir, filepath.FromSlash(path))
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			return fmt.Errorf("loading testdata package %s: %w", path, err)
+		}
+		rp := &rawPkg{path: path, dir: pkgDir, root: root}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			rp.goFiles = append(rp.goFiles, filepath.Join(pkgDir, e.Name()))
+		}
+		if len(rp.goFiles) == 0 {
+			return fmt.Errorf("testdata package %s has no Go files", path)
+		}
+		raw[path] = rp
+		// Scan imports to pull in local dependencies.
+		fset := token.NewFileSet()
+		for _, f := range rp.goFiles {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range parsed.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(srcdir, filepath.FromSlash(ip))); err == nil && st.IsDir() {
+					if err := discover(ip, false); err != nil {
+						return err
+					}
+				} else {
+					external[ip] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := discover(p, true); err != nil {
+			return nil, err
+		}
+	}
+	exports := map[string]string{}
+	if len(external) > 0 {
+		var ext []string
+		for p := range external {
+			if p != "unsafe" {
+				ext = append(ext, p)
+			}
+		}
+		sort.Strings(ext)
+		if len(ext) > 0 {
+			listed, err := goList(srcdir, ext)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+	}
+	// Module path "" marks GOPATH-style loads: every loaded package is
+	// module-local for cross-package analysis purposes.
+	return check("", raw, exports)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// check parses and type-checks every raw package in dependency order,
+// sharing one FileSet, and assembles the Module.
+func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*Module, error) {
+	fset := token.NewFileSet()
+	m := &Module{Path: modPath, Fset: fset, Pkgs: map[string]*Package{}}
+
+	// Parse everything first so the import graph is known.
+	type parsed struct {
+		*rawPkg
+		files []*ast.File
+		src   map[string][]byte
+	}
+	pp := map[string]*parsed{}
+	for path, rp := range raw {
+		p := &parsed{rawPkg: rp, src: map[string][]byte{}}
+		for _, f := range rp.goFiles {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			file, err := parser.ParseFile(fset, f, data, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, file)
+			p.src[f] = data
+		}
+		pp[path] = p
+	}
+
+	gcImporter := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var ensure func(path string) (*types.Package, error)
+	resolve := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if _, ok := pp[path]; ok {
+			return ensure(path)
+		}
+		return gcImporter.Import(path)
+	})
+
+	checking := map[string]bool{}
+	ensure = func(path string) (*types.Package, error) {
+		if done, ok := m.Pkgs[path]; ok {
+			return done.Pkg, nil
+		}
+		if checking[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		checking[path] = true
+		defer delete(checking, path)
+		p := pp[path]
+
+		// Check local imports first for deterministic error attribution.
+		deps := map[string]bool{}
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
+					deps[ip] = true
+				}
+			}
+		}
+		var order []string
+		for d := range deps {
+			if _, ok := pp[d]; ok {
+				order = append(order, d)
+			}
+		}
+		sort.Strings(order)
+		for _, d := range order {
+			if _, err := ensure(d); err != nil {
+				return nil, err
+			}
+		}
+
+		info := typesInfo()
+		var typeErrs []error
+		conf := types.Config{
+			Importer: resolve,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, err := conf.Check(path, fset, p.files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		pkg := &Package{
+			Path:  path,
+			Dir:   p.dir,
+			Root:  p.root,
+			Files: p.files,
+			Pkg:   tpkg,
+			Info:  info,
+			Src:   p.src,
+			Funcs: map[*types.Func]*ast.FuncDecl{},
+			fset:  fset,
+		}
+		indexFuncs(pkg)
+		m.Pkgs[path] = pkg
+		return tpkg, nil
+	}
+
+	var order []string
+	for path := range pp {
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	for _, path := range order {
+		if _, err := ensure(path); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// indexFuncs fills pkg.Funcs with every declared function and method.
+func indexFuncs(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pkg.Funcs[fn] = fd
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sparcs/internal/analysis"
+)
+
+// TestSelfApplication runs the full suite over the real module and
+// requires a clean bill: every finding is either fixed or carries a
+// reasoned //sparcs:ignore. This is the same check CI's sparcsvet step
+// performs, enforced from the tier-1 test suite so it cannot rot.
+func TestSelfApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	m, err := analysis.LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	all := analysis.All()
+	diags := analysis.ApplyIgnores(m, all, analysis.RunAnalyzers(m, all), true)
+	for _, d := range diags {
+		t.Errorf("%s: %s [%s]", m.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}

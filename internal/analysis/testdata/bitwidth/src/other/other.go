@@ -1,0 +1,10 @@
+// Package other is outside the cycle-rate packages: bitwidth draws no
+// diagnostics here.
+package other
+
+func Check(n int, v uint64) bool {
+	if n > 64 {
+		return false
+	}
+	return v<<uint(n+1) != 0
+}

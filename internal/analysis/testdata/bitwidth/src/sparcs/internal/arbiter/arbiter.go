@@ -1,0 +1,68 @@
+// Seeded violations for the bitwidth analyzer, in a stub of the real
+// kernel package (the analyzer keys on the BitVec type at this import
+// path).
+package arbiter
+
+// BitVec mirrors the real kernel's request word.
+type BitVec uint64
+
+const (
+	// MaxN and MaxSynthN mirror the real bounds; constant declarations
+	// and constant-vs-constant comparisons are never flagged.
+	MaxN      = 64
+	MaxSynthN = 16
+)
+
+var sink BitVec
+
+// Shifts exercises the shift-count rules.
+func Shifts(v BitVec, s uint, a, b int) BitVec {
+	w := v << 64        // want `shift count 64 always clears a 64-bit BitVec word`
+	w |= v << s         // a plain bounded variable is accepted
+	w |= v << uint(a+b) // want `shift count computed by arithmetic can reach 64`
+	w <<= uint(a * 2)   // want `shift count computed by arithmetic can reach 64`
+	w |= v << 3         // small constant: fine
+	u := uint64(1) << s // not a BitVec word: out of scope
+	return w | BitVec(u)
+}
+
+// Check exercises the magic-literal rules.
+func Check(n int) bool {
+	if n > 64 { // want `magic width literal 64 in a bound comparison; use arbiter.MaxN`
+		return false
+	}
+	if n >= 16 { // want `magic width literal 16 in a bound comparison; use arbiter.MaxSynthN`
+		return false
+	}
+	if 64 < n { // want `magic width literal 64 in a bound comparison; use arbiter.MaxN`
+		return false
+	}
+	if n > MaxN { // the named constant is the fix
+		return false
+	}
+	return MaxN > MaxSynthN
+}
+
+// HotScratch builds []bool vectors inside a hot region: flagged, even
+// through a same-package static call.
+//
+//sparcs:hotpath
+func HotScratch(n int) int {
+	buf := make([]bool, n) // want `\[\]bool request vector built on the cycle path`
+	lit := []bool{true}    // want `\[\]bool request vector built on the cycle path`
+	grow(n)
+	if len(lit) > 0 {
+		sink = 1
+	}
+	return len(buf)
+}
+
+func grow(n int) {
+	scratch := make([]bool, n) // want `\[\]bool request vector built on the cycle path`
+	_ = scratch
+}
+
+// ColdScratch is setup-time code: []bool construction is fine here.
+func ColdScratch(n int) []bool {
+	return make([]bool, n)
+}

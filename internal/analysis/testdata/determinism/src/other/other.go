@@ -1,0 +1,14 @@
+// Package other is outside the deterministic core: the same constructs
+// draw no diagnostics here.
+package other
+
+import "time"
+
+func Clock(m map[string]int) int64 {
+	total := int64(0)
+	for _, v := range m {
+		total += int64(v)
+	}
+	go func() {}()
+	return total + time.Now().UnixNano()
+}

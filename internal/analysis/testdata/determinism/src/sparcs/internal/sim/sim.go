@@ -1,0 +1,52 @@
+// Seeded violations for the determinism analyzer, in a stub package
+// carrying one of the gated import paths.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Bad gathers every nondeterminism source the analyzer must flag.
+func Bad(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map range iteration order is nondeterministic`
+		total += v
+	}
+	start := time.Now()     // want `time.Now reads the wall clock`
+	_ = time.Since(start)   // want `time.Since reads the wall clock`
+	total += rand.Intn(10)  // want `global rand.Intn is shared nondeterministic state`
+	go func() { total++ }() // want `goroutine spawn outside sim.ParallelFor`
+	return total
+}
+
+// Good shows each blessed alternative: sorted key collection, seeded
+// generator instances, and no stray goroutines.
+func Good(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rng := rand.New(rand.NewSource(1))
+	total := rng.Intn(10)
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// ParallelFor is the one function allowed to spawn goroutines.
+func ParallelFor(n int, f func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			f(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,53 @@
+// Seeded violations for the errsentinel analyzer: every
+// wrapping-hostile matching idiom, plus the errors.Is/errors.As forms
+// it must accept.
+package errsent
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBound is a sentinel in the style of arbiter.ErrOutOfRange.
+var ErrBound = errors.New("errsent: out of bounds")
+
+// WidthError is a typed error in the style of SynthRangeError.
+type WidthError struct{ N int }
+
+func (e *WidthError) Error() string { return fmt.Sprintf("bad width %d", e.N) }
+
+func Wrap(err error) error {
+	return fmt.Errorf("outer: %v", err) // want `error formatted without %w is invisible to errors.Is`
+}
+
+func WrapOK(err error) error {
+	return fmt.Errorf("outer: %w", err)
+}
+
+func Match(err error) bool {
+	if err == nil { // nil checks are fine
+		return false
+	}
+	if err == ErrBound { // want `== comparison with ErrBound misses wrapped errors`
+		return true
+	}
+	if err != ErrBound { // want `!= comparison with ErrBound misses wrapped errors`
+		return false
+	}
+	if err.Error() == "errsent: out of bounds" { // want `matching errors by Error\(\) string`
+		return true
+	}
+	if strings.Contains(err.Error(), "bounds") { // want `matching errors by Error\(\) string`
+		return true
+	}
+	if _, ok := err.(*WidthError); ok { // want `type assertion on an error misses wrapped errors; use errors.As`
+		return true
+	}
+	return false
+}
+
+func MatchOK(err error) bool {
+	var we *WidthError
+	return errors.Is(err, ErrBound) || errors.As(err, &we)
+}

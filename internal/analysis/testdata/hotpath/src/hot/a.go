@@ -1,0 +1,108 @@
+// Seeded violations for the hotpath analyzer: every allocating
+// construct it must catch, plus clean and unmarked code it must not
+// flag.
+package hot
+
+import (
+	"fmt"
+
+	"hot/dep"
+)
+
+var sink []int
+var sunk uint64
+var table = map[string]int{}
+var counts = map[int]int{}
+
+type pair struct{ a, b int }
+
+type rec struct{ vals []int }
+
+func (r *rec) add(v int) {
+	r.vals = append(r.vals, v) // want `append may grow its backing array`
+}
+
+func takeAny(v any) { _ = v }
+
+func release() {}
+
+func spin() {}
+
+// Marked is the per-cycle kernel under test.
+//
+//sparcs:hotpath
+func Marked(n int, buf []byte) int {
+	sink = append(sink, n) // want `append may grow its backing array`
+	b := make([]int, n)    // want `make allocates`
+	p := new(int)          // want `new allocates`
+	fmt.Println(n)         // want `fmt.Println allocates`
+	table["k"] = n         // want `map write may allocate`
+	counts[n]++            // want `map write may allocate`
+	delete(counts, n)      // want `map delete touches a map`
+	s := string(buf)       // want `string\(\[\]byte\) conversion allocates`
+	bs := []byte(s)        // want `\[\]byte\(string\) conversion allocates`
+	s2 := s + "x"          // want `string concatenation allocates`
+	xs := []int{1, 2}      // want `slice literal allocates`
+	mm := map[int]int{}    // want `map literal allocates`
+	pp := &pair{1, n}      // want `&composite literal escapes to the heap`
+	_ = any(n)             // want `conversion to interface boxes the value`
+	takeAny(n)             // want `passing int to interface parameter boxes the value`
+	_ = func() { _ = n }   // want `function literal allocates a closure`
+	defer release()        // want `defer allocates`
+	go spin()              // want `goroutine spawn allocates`
+	var r rec
+	r.add(n)
+	helper(n)
+	dep.Leaf(n)
+	_, _, _, _, _, _ = b, p, bs, s2, xs, mm
+	return pp.a
+}
+
+// helper is unmarked but statically reachable from Marked, so its body
+// is hot too.
+func helper(n int) {
+	sink = append(sink, n+1) // want `append may grow its backing array`
+}
+
+// Clean is marked and allocation-free: no diagnostics.
+//
+//sparcs:hotpath
+func Clean(x uint64) uint64 {
+	x |= x >> 1
+	x |= x >> 2
+	sunk = x
+	return x
+}
+
+// Cold is unmarked and unreachable from any mark: allocation is fine.
+func Cold(n int) []int {
+	return make([]int, n)
+}
+
+// LoopOnly marks just its inner loop: setup above the mark may
+// allocate, the loop body may not.
+func LoopOnly(n int) {
+	xs := make([]int, 0, n)
+	//sparcs:hotpath
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want `append may grow its backing array`
+	}
+	sink = xs
+}
+
+type stepper interface{ Step(int) int }
+
+// Dynamic dispatch is not followed: the analyzer neither flags the
+// call nor walks into implementations.
+//
+//sparcs:hotpath
+func Dyn(s stepper, n int) int {
+	return s.Step(n)
+}
+
+type allocStepper struct{ buf []int }
+
+func (a *allocStepper) Step(n int) int {
+	a.buf = append(a.buf, n) // unmarked and only dynamically reachable: not flagged
+	return len(a.buf)
+}

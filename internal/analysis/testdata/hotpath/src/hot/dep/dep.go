@@ -1,0 +1,10 @@
+// Package dep proves the hotpath walk crosses package boundaries:
+// Leaf is only hot because hot.Marked statically calls it.
+package dep
+
+var sink []int
+
+// Leaf allocates; the violation is attributed here, at the site.
+func Leaf(n int) {
+	sink = append(sink, n) // want `append may grow its backing array`
+}

@@ -1,0 +1,41 @@
+// Exercises the //sparcs:ignore machinery (run under the hotpath
+// analyzer): trailing and standalone placement, per-analyzer scoping,
+// and the driver's malformed/unused reporting.
+package ign
+
+var sink []int
+
+// Marked suppresses a real finding with a trailing ignore.
+//
+//sparcs:hotpath
+func Marked(n int) {
+	sink = append(sink, n) //sparcs:ignore hotpath backing array reaches steady state after warmup
+	grow(n)
+}
+
+// grow suppresses with a standalone ignore on the line above.
+func grow(n int) {
+	//sparcs:ignore hotpath backing array reaches steady state after warmup
+	sink = append(sink, n+1)
+}
+
+// Wrong names a different analyzer, so the hotpath finding survives.
+//
+//sparcs:hotpath
+func Wrong(n int) {
+	sink = append(sink, n+2) //sparcs:ignore determinism wrong analyzer does not suppress // want `append may grow its backing array`
+}
+
+// Unused sits on a clean line: the driver reports it.
+//
+//sparcs:hotpath
+func Unused(n int) {
+	sink[0] = n //sparcs:ignore hotpath nothing to suppress // want `unused //sparcs:ignore for hotpath`
+}
+
+// Malformed variants: the driver reports each.
+func malformed(n int) {
+	_ = n //sparcs:ignore // want `needs an analyzer name and a reason`
+	_ = n //sparcs:ignore hotpath // want `needs an analyzer name and a reason`
+	_ = n //sparcs:ignore bogus not a real analyzer // want `names unknown analyzer "bogus"`
+}

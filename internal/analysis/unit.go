@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewTypesInfo returns a types.Info with every map the analyzers
+// consult populated — for callers (the vet-mode driver) that run their
+// own type check.
+func NewTypesInfo() *types.Info { return typesInfo() }
+
+// NewUnitModule wraps one externally type-checked package as a
+// single-root Module — the `go vet -vettool` unit mode, where the
+// driver sees one compilation unit at a time. src maps file names (as
+// registered in fset) to source bytes.
+func NewUnitModule(fset *token.FileSet, path string, files []*ast.File, pkg *types.Package, info *types.Info, src map[string][]byte) *Module {
+	p := &Package{
+		Path:  path,
+		Root:  true,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		Src:   src,
+		Funcs: map[*types.Func]*ast.FuncDecl{},
+		fset:  fset,
+	}
+	indexFuncs(p)
+	return &Module{Fset: fset, Pkgs: map[string]*Package{path: p}}
+}

@@ -1,0 +1,108 @@
+// Package vettest runs internal/analysis analyzers over seeded
+// testdata trees and checks their diagnostics against `// want`
+// expectations, in the manner of golang.org/x/tools/go/analysis/
+// analysistest (re-implemented on the standard library, like the
+// framework it tests).
+//
+// Testdata layout is GOPATH-style: <testdata>/src/<importpath>/*.go.
+// An expectation is a trailing comment on the offending line:
+//
+//	x := make([]int, n) // want `make allocates`
+//
+// with one or more backquoted regexps; every diagnostic on a line must
+// match one of that line's regexps and every regexp must match at least
+// one diagnostic. //sparcs:ignore suppression (and the driver's
+// malformed/unused-ignore reporting) is applied before matching, so
+// ignore semantics are testable with the same machinery.
+package vettest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sparcs/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the named packages from testdata/src, applies the analyzer
+// (plus ignore processing), and reports expectation mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	m, err := analysis.LoadTree(filepath.Join(testdata, "src"), paths...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", testdata, err)
+	}
+	active := []*analysis.Analyzer{a}
+	diags := analysis.ApplyIgnores(m, active, analysis.RunAnalyzers(m, active), true)
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	type expectation struct {
+		re      *regexp.Regexp
+		pos     string
+		matched bool
+	}
+	wants := map[lineKey][]*expectation{}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					// The expectation either is the whole comment or follows a
+					// nested "//" (so it can share a line with //sparcs:ignore,
+					// which a single //-comment would otherwise swallow).
+					var wantPart string
+					if trimmed := strings.TrimSpace(text); strings.HasPrefix(trimmed, "want ") {
+						wantPart = trimmed
+					} else if j := strings.Index(text, "// want "); j >= 0 {
+						wantPart = text[j+3:]
+					} else {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					groups := wantRE.FindAllStringSubmatch(wantPart, -1)
+					if len(groups) == 0 {
+						t.Errorf("%s: `want` comment without a backquoted regexp", pos)
+						continue
+					}
+					for _, g := range groups {
+						re, err := regexp.Compile(g[1])
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, g[1], err)
+							continue
+						}
+						k := lineKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &expectation{re: re, pos: pos.String()})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := m.Fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+			}
+		}
+	}
+}

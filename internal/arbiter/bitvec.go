@@ -17,7 +17,7 @@ type BitVec uint64
 // Mask returns the BitVec with the low n bits set — the valid-lane mask
 // of an n-line arbiter. n must be in [0, 64].
 func Mask(n int) BitVec {
-	if n >= 64 {
+	if n >= MaxN {
 		return ^BitVec(0)
 	}
 	return BitVec(1)<<uint(n) - 1
@@ -40,6 +40,8 @@ func (v BitVec) FirstSet() int {
 
 // PackBools packs b into a BitVec, bit i from b[i]. len(b) must be at
 // most 64.
+//
+//sparcs:hotpath
 func PackBools(b []bool) BitVec {
 	var v BitVec
 	for i, x := range b {
@@ -51,6 +53,8 @@ func PackBools(b []bool) BitVec {
 }
 
 // WriteBools unpacks the low len(dst) bits of v into dst.
+//
+//sparcs:hotpath
 func (v BitVec) WriteBools(dst []bool) {
 	for i := range dst {
 		dst[i] = v&1 != 0
@@ -63,6 +67,7 @@ func (v BitVec) WriteBools(dst []bool) {
 // a find-lowest-set on the rotated word. Bits at or above n must be
 // clear on entry.
 func (v BitVec) rotr(s, n int) BitVec {
+	//sparcs:ignore bitwidth s==0 makes n-s==64 and the << lobe intentionally zero; the >>0 lobe carries the word
 	return (v>>uint(s) | v<<uint(n-s)) & Mask(n)
 }
 
@@ -98,6 +103,7 @@ type boolStepper struct {
 	req, grant []bool
 }
 
+//sparcs:hotpath
 func (a *boolStepper) StepBits(req BitVec) BitVec {
 	req.WriteBools(a.req)
 	StepInto(a.p, a.req, a.grant)

@@ -80,6 +80,8 @@ func (p *Hierarchical) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper with the same semantics as
 // StepBits.
+//
+//sparcs:hotpath
 func (p *Hierarchical) StepInto(req, grant []bool) {
 	checkLanes(req, grant, p.n)
 	p.StepBits(PackBools(req)).WriteBools(grant)
@@ -90,6 +92,8 @@ func (p *Hierarchical) StepInto(req, grant []bool) {
 // cluster's request window extracted as a size-bit word and scanned
 // with the same rotate / isolate-lowest-set kernel as the flat arbiter
 // — advancing both pointers past the grantee.
+//
+//sparcs:hotpath
 func (p *Hierarchical) StepBits(req BitVec) BitVec {
 	req &= p.mask
 	if p.holder >= 0 && req.Bit(p.holder) {

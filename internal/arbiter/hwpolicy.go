@@ -38,6 +38,7 @@ func (p *FSMPolicy) Reset() { p.ref.Reset() }
 func (p *FSMPolicy) Step(req []bool) []bool {
 	out, err := p.ref.Step(req)
 	if err != nil {
+		//sparcs:ignore hotpath cold panic path; the reference machine is validated at construction
 		panic(fmt.Sprintf("arbiter: FSM policy: %v", err))
 	}
 	return out
@@ -46,6 +47,8 @@ func (p *FSMPolicy) Step(req []bool) []bool {
 // StepInto implements InPlaceStepper. The reference interpreter returns
 // the transition table's precomputed output row, so the copy is the only
 // per-cycle work.
+//
+//sparcs:hotpath
 func (p *FSMPolicy) StepInto(req, grant []bool) {
 	copy(grant, p.Step(req))
 }
@@ -98,8 +101,11 @@ func (p *NetlistPolicy) Step(req []bool) []bool {
 
 // StepInto implements InPlaceStepper via the gate-level simulator's
 // allocation-free StepInto.
+//
+//sparcs:hotpath
 func (p *NetlistPolicy) StepInto(req, grant []bool) {
 	if err := p.sim.StepInto(req, grant); err != nil {
+		//sparcs:ignore hotpath cold panic path; widths are validated at construction
 		panic(fmt.Sprintf("arbiter: netlist policy: %v", err))
 	}
 }

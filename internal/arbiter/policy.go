@@ -38,6 +38,8 @@ type InPlaceStepper interface {
 // StepInto arbitrates one cycle of p into grant, using the in-place fast
 // path when p implements InPlaceStepper and otherwise adapting the plain
 // Step (one policy-internal allocation at most, never a new grant slice).
+//
+//sparcs:hotpath
 func StepInto(p Policy, req, grant []bool) {
 	if s, ok := p.(InPlaceStepper); ok {
 		s.StepInto(req, grant)
@@ -62,6 +64,7 @@ func NewPolicy(name string, n int) (Policy, error) {
 // the policy width — the contract violation the []bool adapters guard.
 func checkLanes(req, grant []bool, n int) {
 	if len(req) != n || len(grant) != n {
+		//sparcs:ignore hotpath cold panic path; taken only on a caller contract violation
 		panic(fmt.Sprintf("arbiter: got %d requests / %d grants, want %d", len(req), len(grant), n))
 	}
 }
@@ -103,6 +106,8 @@ func (a *RoundRobin) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (a *RoundRobin) StepInto(req, grant []bool) {
 	checkLanes(req, grant, a.n)
 	a.StepBits(PackBools(req)).WriteBools(grant)
@@ -111,6 +116,8 @@ func (a *RoundRobin) StepInto(req, grant []bool) {
 // StepBits implements BitStepper: the cyclic priority scan as a
 // branchless rotate / isolate-lowest-set / rotate-back over the request
 // word — the parallel round-robin arbiter datapath.
+//
+//sparcs:hotpath
 func (a *RoundRobin) StepBits(req BitVec) BitVec {
 	req &= a.mask
 	start := a.priority
@@ -197,6 +204,8 @@ func (a *FIFO) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (a *FIFO) StepInto(req, grant []bool) {
 	checkLanes(req, grant, a.n)
 	a.StepBits(PackBools(req)).WriteBools(grant)
@@ -205,13 +214,15 @@ func (a *FIFO) StepInto(req, grant []bool) {
 // StepBits implements BitStepper: rising edges (req & ^prev & ^queued)
 // enqueue in index order via successive lowest-set extraction, the head
 // drops non-requesters, and the head entry (if any) is granted.
+//
+//sparcs:hotpath
 func (a *FIFO) StepBits(req BitVec) BitVec {
 	req &= a.mask
 	// Enqueue rising edges in index order (simultaneous arrivals tie-break
 	// by index, like a priority encoder feeding the queue).
 	for rising := req &^ a.prev &^ a.queued; rising != 0; rising &= rising - 1 {
 		t := rising.FirstSet()
-		a.queue = append(a.queue, t)
+		a.queue = append(a.queue, t) //sparcs:ignore hotpath stays within the 2N backing array; compacted before it can grow
 		a.queued |= 1 << uint(t)
 	}
 	a.prev = req
@@ -268,6 +279,8 @@ func (a *Priority) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (a *Priority) StepInto(req, grant []bool) {
 	checkLanes(req, grant, a.n)
 	a.StepBits(PackBools(req)).WriteBools(grant)
@@ -275,6 +288,8 @@ func (a *Priority) StepInto(req, grant []bool) {
 
 // StepBits implements BitStepper: a still-requesting holder persists,
 // otherwise the lowest set request bit wins (task 1 highest priority).
+//
+//sparcs:hotpath
 func (a *Priority) StepBits(req BitVec) BitVec {
 	req &= a.mask
 	if a.holder >= 0 && req.Bit(a.holder) {
@@ -328,6 +343,8 @@ func (a *Random) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (a *Random) StepInto(req, grant []bool) {
 	checkLanes(req, grant, a.n)
 	a.StepBits(PackBools(req)).WriteBools(grant)
@@ -335,6 +352,8 @@ func (a *Random) StepInto(req, grant []bool) {
 
 // StepBits implements BitStepper: a still-requesting holder persists,
 // otherwise the k-th set request bit (k from the LFSR) wins.
+//
+//sparcs:hotpath
 func (a *Random) StepBits(req BitVec) BitVec {
 	req &= a.mask
 	if a.holder >= 0 && req.Bit(a.holder) {

@@ -57,6 +57,8 @@ func (p *PreemptiveRoundRobin) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (p *PreemptiveRoundRobin) StepInto(req, grant []bool) {
 	checkLanes(req, grant, p.n)
 	p.StepBits(PackBools(req)).WriteBools(grant)
@@ -65,6 +67,8 @@ func (p *PreemptiveRoundRobin) StepInto(req, grant []bool) {
 // StepBits implements BitStepper: the inner round-robin scan, with the
 // hog's request bit masked out for one step once it has held for
 // maxHold granted cycles while another task waits.
+//
+//sparcs:hotpath
 func (p *PreemptiveRoundRobin) StepBits(req BitVec) BitVec {
 	req &= p.inner.mask
 	holder := p.inner.holder

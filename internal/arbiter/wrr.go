@@ -61,6 +61,8 @@ func (p *WeightedRoundRobin) Step(req []bool) []bool {
 }
 
 // StepInto implements InPlaceStepper with the same semantics as Step.
+//
+//sparcs:hotpath
 func (p *WeightedRoundRobin) StepInto(req, grant []bool) {
 	checkLanes(req, grant, p.n)
 	p.StepBits(PackBools(req)).WriteBools(grant)
@@ -69,6 +71,8 @@ func (p *WeightedRoundRobin) StepInto(req, grant []bool) {
 // StepBits implements BitStepper: the inner round-robin scan, with the
 // holder's request bit masked out for one step once its quantum is
 // exhausted while another task waits.
+//
+//sparcs:hotpath
 func (p *WeightedRoundRobin) StepBits(req BitVec) BitVec {
 	req &= p.inner.mask
 	holder := p.inner.holder

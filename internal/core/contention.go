@@ -132,6 +132,7 @@ func validateContention(d *Design, specs []ContentionSpec) error {
 	}
 	arbitrated := map[string]bool{}
 	for _, sp := range d.Stages {
+		//sparcs:ignore determinism commutative set union; iteration order cannot change the result
 		for r := range stageArbitrated(sp) {
 			arbitrated[r] = true
 		}

@@ -136,6 +136,7 @@ func SharedLines(specs []SharedContentionSpec) map[string]int {
 // should price.
 func expectedLines(opts Options) map[string]int {
 	extra := PhantomLines(opts.Contention)
+	//sparcs:ignore determinism commutative per-key accumulation; iteration order cannot change the result
 	for r, n := range SharedLines(opts.Shared) {
 		extra[r] += n
 	}

@@ -149,9 +149,11 @@ func (m *Machine) Validate() error {
 // the unique matching transition determines the next state and outputs.
 func (m *Machine) Step(state int, in []bool) (next int, out []bool, err error) {
 	if state < 0 || state >= len(m.States) {
+		//sparcs:ignore hotpath cold error path on an out-of-range state
 		return 0, nil, fmt.Errorf("fsm %s: state %d out of range", m.Name, state)
 	}
 	if len(in) != len(m.Inputs) {
+		//sparcs:ignore hotpath cold error path on a width mismatch
 		return 0, nil, fmt.Errorf("fsm %s: got %d inputs, want %d", m.Name, len(in), len(m.Inputs))
 	}
 	for _, tr := range m.Trans[state] {
@@ -159,6 +161,7 @@ func (m *Machine) Step(state int, in []bool) (next int, out []bool, err error) {
 			return tr.Next, tr.Outputs, nil
 		}
 	}
+	//sparcs:ignore hotpath cold error path; Validate guarantees a unique match
 	return 0, nil, fmt.Errorf("fsm %s: no transition matches in state %s (run Validate)", m.Name, m.States[state])
 }
 

@@ -167,9 +167,11 @@ func (s *Simulator) Step(inputs []bool) ([]bool, error) {
 func (s *Simulator) StepInto(inputs, out []bool) error {
 	ins := s.n.Inputs()
 	if len(inputs) != len(ins) {
+		//sparcs:ignore hotpath cold error path on a width mismatch
 		return fmt.Errorf("netlist: got %d inputs, want %d", len(inputs), len(ins))
 	}
 	if len(out) != len(s.n.Outputs()) {
+		//sparcs:ignore hotpath cold error path on a width mismatch
 		return fmt.Errorf("netlist: got %d output slots, want %d", len(out), len(s.n.Outputs()))
 	}
 	// Drive sources: constants, primary inputs, DFF Q values.
@@ -210,6 +212,7 @@ func (s *Simulator) StepInto(inputs, out []bool) error {
 		case enabled == 1:
 			s.val[nd.tnet] = v
 		default:
+			//sparcs:ignore hotpath drive conflicts are exceptional diagnostics, not steady-state work
 			s.conflicts = append(s.conflicts, Conflict{Cycle: s.cycle, Net: nd.tnet, Drivers: enabled})
 			s.val[nd.tnet] = v
 		}
@@ -297,6 +300,7 @@ func evalGate(g Gate, val []bool) bool {
 	case Buf:
 		return val[g.In[0]]
 	default:
+		//sparcs:ignore hotpath cold panic path; gate kinds are validated at build time
 		panic(fmt.Sprintf("netlist: unknown gate kind %v", g.Kind))
 	}
 }

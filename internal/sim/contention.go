@@ -106,6 +106,8 @@ type contSource struct {
 
 // next produces the source's request word for the coming cycle from its
 // current request and previous-grant windows.
+//
+//sparcs:hotpath
 func (cs *contSource) next(req, prevGrant arbiter.BitVec) arbiter.BitVec {
 	if cs.bits != nil {
 		return cs.bits.NextBits(prevGrant)
@@ -158,6 +160,7 @@ func wireContention(sources []ContentionSource, arbs map[string]*arbInst) error 
 // sizePhantoms allocates the per-phantom-line counters once every source
 // — single-resource and shared — has widened its arbiters.
 func sizePhantoms(arbs map[string]*arbInst) {
+	//sparcs:ignore determinism each instance is sized independently; iteration order cannot change the result
 	for _, ai := range arbs {
 		if phantoms := ai.width - ai.memberN; phantoms > 0 {
 			ai.phGrants = make([]int, phantoms)

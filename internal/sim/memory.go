@@ -19,7 +19,7 @@ type memSegment struct {
 
 func (s *memSegment) grow(n int) {
 	c := 2 * len(s.page)
-	if c < 64 {
+	if c < 64 { //sparcs:ignore bitwidth minimum dense-page capacity in words, not a lane-width bound
 		c = 64
 	}
 	if c < n {
@@ -28,10 +28,10 @@ func (s *memSegment) grow(n int) {
 	if c > densePageCap {
 		c = densePageCap
 	}
-	page := make([]int64, c)
+	page := make([]int64, c) //sparcs:ignore hotpath amortized dense-page doubling, paid O(log) times per segment
 	copy(page, s.page)
 	s.page = page
-	written := make([]bool, c)
+	written := make([]bool, c) //sparcs:ignore hotpath,bitwidth written-flag vector for the dense page, not a request vector; amortized doubling
 	copy(written, s.written)
 	s.written = written
 }
@@ -98,9 +98,9 @@ func (m *Memory) WriteID(id, addr int, v int64) {
 		return
 	}
 	if s.sparse == nil {
-		s.sparse = map[int]int64{}
+		s.sparse = map[int]int64{} //sparcs:ignore hotpath sparse overflow fallback for pathological addresses outside the dense page
 	}
-	s.sparse[addr] = v
+	s.sparse[addr] = v //sparcs:ignore hotpath sparse overflow fallback for pathological addresses outside the dense page
 }
 
 // Snapshot returns a copied dump of one segment for assertions: every
@@ -117,6 +117,7 @@ func (m *Memory) Snapshot(segment string) map[int]int64 {
 			out[a] = s.page[a]
 		}
 	}
+	//sparcs:ignore determinism distinct-key writes into a result map; iteration order cannot change the result
 	for a, v := range s.sparse {
 		out[a] = v
 	}

@@ -111,6 +111,8 @@ type sharedInst struct {
 
 // next refreshes the source's lane windows on every spanned resource
 // from one coherent snapshot of last cycle's grants.
+//
+//sparcs:hotpath
 func (inst *sharedInst) next() {
 	for r, ai := range inst.arbs {
 		off := uint(inst.offs[r])
@@ -213,10 +215,13 @@ func wireShared(sources []SharedSource, arbs map[string]*arbInst) ([]*sharedInst
 // resource's Grants, every requesting-but-ungranted line toward Waits;
 // a lane holding at least one resource while waiting on another is in
 // hold-and-wait; a lane holding all of them is in its critical section.
+//
+//sparcs:hotpath
 func (inst *sharedInst) observe() {
 	for j := 0; j < inst.lanes; j++ {
 		held, want, all := false, false, true
 		for r, ai := range inst.arbs {
+			//sparcs:ignore bitwidth offs[r]+j < width <= MaxN by wiring-time validation
 			bit := arbiter.BitVec(1) << uint(inst.offs[r]+j)
 			switch {
 			case ai.grant&bit != 0:

@@ -154,14 +154,14 @@ type arbInst struct {
 func (ai *arbInst) record() {
 	n := ai.width
 	if len(ai.arena) < 2*n {
-		ai.arena = make([]bool, 2*n*1024)
+		ai.arena = make([]bool, 2*n*1024) //sparcs:ignore hotpath,bitwidth trace arena chunk, amortized over 1024 recorded cycles; TraceStep keeps the []bool surface
 	}
 	rq := ai.arena[0:n:n]
 	gr := ai.arena[n : 2*n : 2*n]
 	ai.arena = ai.arena[2*n:]
 	ai.req.WriteBools(rq)
 	ai.grant.WriteBools(gr)
-	ai.trace = append(ai.trace, arbiter.TraceStep{Req: rq, Grant: gr})
+	ai.trace = append(ai.trace, arbiter.TraceStep{Req: rq, Grant: gr}) //sparcs:ignore hotpath trace capture is opt-in and amortized; disable traces for allocation-free runs
 }
 
 // cinstr is one precompiled instruction: every map lookup the
@@ -294,6 +294,7 @@ func Run(cfg Config) (*Stats, error) {
 	for _, r := range cfg.CaptureOnly {
 		captureSet[r] = true
 	}
+	//sparcs:ignore determinism each instance flag is set independently; iteration order cannot change the result
 	for _, ai := range arbs {
 		ai.capture = !cfg.DisableTraces && (cfg.CaptureOnly == nil || captureSet[ai.res])
 	}
@@ -307,6 +308,7 @@ func Run(cfg Config) (*Stats, error) {
 		ai.stepper = arbiter.AsBitStepper(ai.policy)
 	}
 	arbList := make([]*arbInst, 0, len(arbs))
+	//sparcs:ignore determinism values are collected then sorted by resource name on the next line
 	for _, ai := range arbs {
 		arbList = append(arbList, ai)
 	}
@@ -416,6 +418,7 @@ func Run(cfg Config) (*Stats, error) {
 	remaining := len(tasks)
 
 	cycle := 0
+	//sparcs:hotpath
 	for ; cycle < maxCycles; cycle++ {
 		if remaining == 0 {
 			stats.Done = true
@@ -442,6 +445,7 @@ func Run(cfg Config) (*Stats, error) {
 			ai.grants += (ai.grant & ai.memberMask).Count()
 			if ai.phGrants != nil {
 				for i := range ai.phGrants {
+					//sparcs:ignore bitwidth memberN+i < width <= MaxN by wiring-time checkLanes validation
 					bit := arbiter.BitVec(1) << uint(ai.memberN+i)
 					switch {
 					case ai.grant&bit != 0:
@@ -486,7 +490,7 @@ func Run(cfg Config) (*Stats, error) {
 				if len(ts.code) == 0 || ts.iter >= ts.iters {
 					ts.done = true
 					ts.finish = cycle
-					stats.TaskFinish[ts.name] = cycle
+					stats.TaskFinish[ts.name] = cycle //sparcs:ignore hotpath written once per task, at termination
 					remaining--
 					break
 				}
@@ -536,29 +540,30 @@ func Run(cfg Config) (*Stats, error) {
 					if n > ts.bufLen() {
 						n = ts.bufLen()
 					}
-					ts.scratch = append(ts.scratch[:0], ts.buf[ts.head:ts.head+n]...)
+					ts.scratch = append(ts.scratch[:0], ts.buf[ts.head:ts.head+n]...) //sparcs:ignore hotpath reuses the scratch backing; grows only to the transfer size
 					ts.head += n
 					ts.compact()
 					if in.fn != nil {
-						ts.buf = append(ts.buf, in.fn(ts.scratch)...)
+						ts.buf = append(ts.buf, in.fn(ts.scratch)...) //sparcs:ignore hotpath task data buffer; growth is the workload, not overhead
 					}
 					advance(ts)
 				}
 			case behav.OpRead, behav.OpWrite:
 				if in.conf >= 0 {
 					if len(confUsers[in.conf]) == 0 {
-						touched = append(touched, in.conf)
+						touched = append(touched, in.conf) //sparcs:ignore hotpath reaches steady-state backing after the first cycles; reset in place
 					}
-					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
+					confUsers[in.conf] = append(confUsers[in.conf], ts.name) //sparcs:ignore hotpath reaches steady-state backing after the first cycles; reset in place
 					if in.ai != nil && in.line >= 0 && in.ai.grant&in.lineBit == 0 {
+						//sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 						stats.Violations = append(stats.Violations, Violation{
-							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
+							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant", //sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 						})
 					}
 				}
 				addr := in.addr + ts.iter*in.stride
 				if in.op == behav.OpRead {
-					ts.buf = append(ts.buf, mem.ReadID(in.seg, addr))
+					ts.buf = append(ts.buf, mem.ReadID(in.seg, addr)) //sparcs:ignore hotpath task data buffer; growth is the workload, not overhead
 					stats.MemReads++
 				} else {
 					v := in.val
@@ -572,12 +577,13 @@ func Run(cfg Config) (*Stats, error) {
 			case behav.OpSend:
 				if in.conf >= 0 {
 					if len(confUsers[in.conf]) == 0 {
-						touched = append(touched, in.conf)
+						touched = append(touched, in.conf) //sparcs:ignore hotpath reaches steady-state backing after the first cycles; reset in place
 					}
-					confUsers[in.conf] = append(confUsers[in.conf], ts.name)
+					confUsers[in.conf] = append(confUsers[in.conf], ts.name) //sparcs:ignore hotpath reaches steady-state backing after the first cycles; reset in place
 					if in.ai != nil && in.line >= 0 && in.ai.grant&in.lineBit == 0 {
+						//sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 						stats.Violations = append(stats.Violations, Violation{
-							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant",
+							Cycle: cycle, Resource: in.res, Tasks: []string{ts.name}, Kind: "no-grant", //sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 						})
 					}
 				}
@@ -585,15 +591,16 @@ func Run(cfg Config) (*Stats, error) {
 				if ts.bufLen() > 0 {
 					v = ts.popFront()
 				}
-				sends = append(sends, pendingSend{ch: in.ch, value: v})
+				sends = append(sends, pendingSend{ch: in.ch, value: v}) //sparcs:ignore hotpath reaches steady-state backing after the first cycles; reset in place
 				stats.ChannelSends++
 				advance(ts)
 			case behav.OpRecv:
 				if in.ch == nil {
+					//sparcs:ignore hotpath cold error path; aborts the run
 					return nil, fmt.Errorf("sim: task %s receives on unknown channel %s", ts.name, in.res)
 				}
 				if in.ch.valid {
-					ts.buf = append(ts.buf, in.ch.value)
+					ts.buf = append(ts.buf, in.ch.value) //sparcs:ignore hotpath task data buffer; growth is the workload, not overhead
 					advance(ts)
 				}
 				// Not valid yet: block (consume the cycle).
@@ -608,12 +615,13 @@ func Run(cfg Config) (*Stats, error) {
 				}
 				advance(ts)
 			default:
+				//sparcs:ignore hotpath cold error path; aborts the run
 				return nil, fmt.Errorf("sim: task %s: unsupported op %v", ts.name, in.op)
 			}
 			if ts.iter >= ts.iters {
 				ts.done = true
 				ts.finish = cycle
-				stats.TaskFinish[ts.name] = cycle
+				stats.TaskFinish[ts.name] = cycle //sparcs:ignore hotpath written once per task, at termination
 				remaining--
 			}
 		}
@@ -623,9 +631,10 @@ func Run(cfg Config) (*Stats, error) {
 		for _, ci := range touched {
 			users := confUsers[ci]
 			if len(users) > 1 {
+				//sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 				stats.Violations = append(stats.Violations, Violation{
 					Cycle: cycle, Resource: confNames[ci],
-					Tasks: append([]string(nil), users...), Kind: "port-conflict",
+					Tasks: append([]string(nil), users...), Kind: "port-conflict", //sparcs:ignore hotpath violations are exceptional diagnostics, not steady-state work
 				})
 			}
 			confUsers[ci] = users[:0]

@@ -244,6 +244,7 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 		}
 	}
 
+	//sparcs:hotpath
 	for cycle := 0; cycle < cycles; cycle++ {
 		// grant still holds last cycle's decision — the closed-loop
 		// feedback the generators react to.

@@ -134,6 +134,8 @@ func (s *SharedSource) Next(req, prevGrant [][]bool) {
 // NextBits is the word-level core of Next (bit j of each word = lane j);
 // it implements sim.BitSharedRequester, rewriting req[r] in place. The
 // draw order matches the slice surface exactly.
+//
+//sparcs:hotpath
 func (s *SharedSource) NextBits(req, prevGrant []arbiter.BitVec) {
 	k := len(s.resources)
 	for r := 0; r < k; r++ {

@@ -135,6 +135,8 @@ func (b *bernoulli) Next(req, prevGrant []bool) {
 
 // NextBits implements BitGenerator: the same draws in the same order as
 // the slice surface, assembled into one request word.
+//
+//sparcs:hotpath
 func (b *bernoulli) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
 	var req arbiter.BitVec
 	for i := 0; i < b.n; i++ {
@@ -259,6 +261,8 @@ func (b *bursty) Next(req, prevGrant []bool) {
 }
 
 // NextBits implements BitGenerator.
+//
+//sparcs:hotpath
 func (b *bursty) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
 	var req arbiter.BitVec
 	for i := 0; i < b.n; i++ {
@@ -330,6 +334,8 @@ func (m *markov) Next(req, prevGrant []bool) {
 }
 
 // NextBits implements BitGenerator.
+//
+//sparcs:hotpath
 func (m *markov) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
 	// The regime chain and per-task arrival draws advance every cycle
 	// regardless of grant feedback, keeping the offered traffic
@@ -387,6 +393,8 @@ func (s *silent) Next(req, prevGrant []bool) {
 }
 
 // NextBits implements BitGenerator.
+//
+//sparcs:hotpath
 func (s *silent) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec { return 0 }
 
 // trace replays a recorded request pattern cyclically — the open-loop
@@ -428,6 +436,8 @@ func (t *trace) Next(req, prevGrant []bool) {
 }
 
 // NextBits implements BitGenerator.
+//
+//sparcs:hotpath
 func (t *trace) NextBits(prevGrant arbiter.BitVec) arbiter.BitVec {
 	step := t.steps[t.pos]
 	t.pos++
