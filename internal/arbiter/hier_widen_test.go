@@ -1,0 +1,166 @@
+package arbiter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for request patterns.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 16)
+}
+
+// TestHierarchicalWidenedQuietLanesByteIdentical is the layout-stability
+// contract: a widened tree whose appended lanes never request must
+// produce exactly the grant stream of the unwidened balanced tree over
+// the member lanes, cycle by cycle — the property the simulator's
+// quiet-contention differential (core.TestQuietTracePlumbingDoesNotPerturb)
+// relies on for hier.
+func TestHierarchicalWidenedQuietLanesByteIdentical(t *testing.T) {
+	cases := []struct{ members, groups, extra int }{
+		{6, 2, 1}, {6, 2, 2}, {6, 3, 4}, {6, 1, 2}, {6, 6, 3},
+		{8, 4, 1}, {12, 3, 7}, {4, 2, 60}, {32, 8, 16},
+	}
+	for _, tc := range cases {
+		plain, err := NewHierarchical(tc.members, tc.groups)
+		if err != nil {
+			t.Fatalf("members=%d groups=%d: %v", tc.members, tc.groups, err)
+		}
+		wide, err := NewHierarchicalWidened(tc.members, tc.members+tc.extra, tc.groups)
+		if err != nil {
+			t.Fatalf("members=%d groups=%d extra=%d: %v", tc.members, tc.groups, tc.extra, err)
+		}
+		rng := lcg(uint64(tc.members*64 + tc.extra))
+		memberMask := Mask(tc.members)
+		for cycle := 0; cycle < 4096; cycle++ {
+			req := BitVec(rng.next()) & memberMask
+			gp := plain.StepBits(req)
+			gw := wide.StepBits(req) // appended lanes idle
+			if gp != gw {
+				t.Fatalf("members=%d groups=%d extra=%d cycle %d: req=%b plain grants %b, widened grants %b",
+					tc.members, tc.groups, tc.extra, cycle, req, gp, gw)
+			}
+		}
+	}
+}
+
+// TestHierarchicalWidenedActiveLanes exercises the appended cluster
+// with live background traffic: the invariants (one grant, grants
+// imply requests, work conservation) must hold, appended lanes must
+// actually win grants, and members must keep their intra-cluster order.
+func TestHierarchicalWidenedActiveLanes(t *testing.T) {
+	p, err := NewHierarchicalWidened(6, 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Name(), "hierarchical-3x2+3"; got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+	if p.N() != 9 {
+		t.Fatalf("N() = %d, want 9", p.N())
+	}
+	rng := lcg(7)
+	phantomWins := 0
+	memberWins := 0
+	for cycle := 0; cycle < 8192; cycle++ {
+		req := BitVec(rng.next()) & Mask(9)
+		g := p.StepBits(req)
+		if g.Count() > 1 {
+			t.Fatalf("cycle %d: %d simultaneous grants", cycle, g.Count())
+		}
+		if g&^req != 0 {
+			t.Fatalf("cycle %d: grant %b without request %b", cycle, g, req)
+		}
+		if req != 0 && g == 0 {
+			t.Fatalf("cycle %d: not work conserving (req=%b)", cycle, req)
+		}
+		if g&^Mask(6) != 0 {
+			phantomWins++
+		} else if g != 0 {
+			memberWins++
+		}
+	}
+	if phantomWins == 0 {
+		t.Fatal("appended lanes never won a grant")
+	}
+	if memberWins == 0 {
+		t.Fatal("member lanes never won a grant")
+	}
+}
+
+// TestNewHierarchicalWidenedErrors pins the constructor's validation:
+// divisibility binds to the member count, not the widened total.
+func TestNewHierarchicalWidenedErrors(t *testing.T) {
+	if _, err := NewHierarchicalWidened(6, 7, 4); err == nil || !strings.Contains(err.Error(), "divide") {
+		t.Errorf("4 groups over 6 members should fail divisibility, got %v", err)
+	}
+	if _, err := NewHierarchicalWidened(6, 7, 3); err != nil {
+		t.Errorf("3 groups over 6 members widened to 7 should work, got %v", err)
+	}
+	if _, err := NewHierarchicalWidened(6, 5, 2); err == nil {
+		t.Error("members > total width should fail")
+	}
+	if _, err := NewHierarchicalWidened(1, 4, 1); err == nil {
+		t.Error("members below MinN should fail")
+	}
+	if _, err := NewHierarchicalWidened(6, MaxN+1, 2); err == nil || !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("width past MaxN should wrap ErrOutOfRange, got %v", err)
+	}
+	if _, err := NewHierarchicalWidened(6, 9, 7); err == nil {
+		t.Error("more groups than members should fail")
+	}
+}
+
+// TestPolicySpecNewWidened pins the spec-level dispatch: hier anchors
+// divisibility to the member count under widening, every other kind
+// (and the unwidened case) delegates to New(width).
+func TestPolicySpecNewWidened(t *testing.T) {
+	sp, err := ParsePolicySpec("hier:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 groups over 6 members + 1 phantom lane: impossible for the old
+	// balanced constructor (3 does not divide 7), valid now.
+	p, err := sp.NewWidened(6, 7)
+	if err != nil {
+		t.Fatalf("hier:3 widened 6->7: %v", err)
+	}
+	if got, want := p.Name(), "hierarchical-3x2+1"; got != want {
+		t.Fatalf("widened name %q, want %q", got, want)
+	}
+	// Unwidened: identical to New.
+	p, err = sp.NewWidened(6, 6)
+	if err != nil || p.Name() != "hierarchical-3x2" {
+		t.Fatalf("unwidened hier:3 at 6 = (%v, %v), want balanced tree", p, err)
+	}
+	// Divisibility still binds to members.
+	if _, err := sp.NewWidened(7, 9); err == nil || !strings.Contains(err.Error(), "divide") {
+		t.Errorf("hier:3 with 7 members should fail divisibility, got %v", err)
+	}
+	// Width bound checked at the total.
+	if _, err := sp.NewWidened(6, MaxN+2); err == nil || !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("widened width past MaxN should wrap ErrOutOfRange, got %v", err)
+	}
+	// Non-hier kinds ignore the member count entirely.
+	rr, err := ParsePolicySpec("rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = rr.NewWidened(6, 8)
+	if err != nil || p.N() != 8 {
+		t.Fatalf("rr widened 6->8 = (%v, %v), want plain 8-line round-robin", p, err)
+	}
+	// wrr with per-task weights still requires one weight per TOTAL lane:
+	// widening is not layout-sensitive for it, so New's check applies.
+	wrr, err := ParsePolicySpec("wrr:1,2,3,4,5,6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrr.NewWidened(6, 8); err == nil {
+		t.Error("wrr with 6 explicit weights at width 8 should fail")
+	}
+}

@@ -173,6 +173,27 @@ func (sp *PolicySpec) MaxN() int {
 	return MaxN
 }
 
+// NewWidened instantiates the spec for an arbiter widened from
+// `members` real request lines to `width` total lines by appended
+// background (phantom/correlated) lanes. For every kind whose grant
+// decisions depend only on the requesting subset and its cyclic order
+// this is simply New(width); for "hier" — whose tree layout would
+// otherwise rebalance the members when the total line count grows — the
+// member lines keep the layout of New(members) and the appended lanes
+// form one extra cluster (NewHierarchicalWidened), so quiet background
+// lanes leave the members' grant stream byte-identical. Size-dependent
+// constraints (group divisibility, per-task weight counts) are checked
+// against the member count for "hier" and the total width otherwise.
+func (sp *PolicySpec) NewWidened(members, width int) (Policy, error) {
+	if sp.Kind == "hier" && width != members {
+		if max := sp.MaxN(); width < MinN || width > max {
+			return nil, RangeError(width)
+		}
+		return NewHierarchicalWidened(members, width, sp.Groups)
+	}
+	return sp.New(width)
+}
+
 // New instantiates the spec for an n-line arbiter, enforcing the
 // size-dependent constraints (per-kind width bounds, weight counts,
 // group divisibility).

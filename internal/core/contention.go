@@ -18,7 +18,10 @@ import (
 //	resource=workload[/lines]
 //
 // comma-separated, e.g. "M1=hog/2,M3=bernoulli:0.50" — the workload
-// half is any workload.NewGenerator spec.
+// half is any workload.NewGenerator spec. Each resource may appear in
+// at most one entry of a list: naming it twice is rejected with a
+// *DuplicateResourceError instead of silently merging the sources
+// (scale a source with /lines instead).
 type ContentionSpec struct {
 	// Resource names the arbitrated bank or physical channel ("M1").
 	Resource string
@@ -37,10 +40,38 @@ func (c ContentionSpec) String() string {
 	return fmt.Sprintf("%s=%s/%d", c.Resource, c.Workload, lines)
 }
 
+// DuplicateResourceError reports a contention spec list naming one
+// resource more than once. The parsers reject duplicates up front:
+// before this guard a repeated resource silently combined into one
+// widened arbiter, so a typo'd list ("M1=hog,M1=bursty" for
+// "M1=hog,M3=bursty") mis-reported which background load a run faced.
+type DuplicateResourceError struct {
+	// Resource is the resource named more than once.
+	Resource string
+}
+
+func (e *DuplicateResourceError) Error() string {
+	return fmt.Sprintf("core: contention resource %s appears more than once (each resource takes at most one spec; scale a source with /lines or /lanes)", e.Resource)
+}
+
+// checkDuplicateResources rejects a single-resource spec list naming
+// the same resource twice.
+func checkDuplicateResources(specs []ContentionSpec) error {
+	seen := make(map[string]bool, len(specs))
+	for _, cs := range specs {
+		if seen[cs.Resource] {
+			return &DuplicateResourceError{Resource: cs.Resource}
+		}
+		seen[cs.Resource] = true
+	}
+	return nil
+}
+
 // ParseContention parses a comma-separated list of contention specs of
 // the grammar documented on ContentionSpec. Workload names are
-// validated immediately (against a placeholder size); resource names
-// can only be checked against a compiled design, which Simulate does.
+// validated immediately (against a placeholder size) and duplicate
+// resources rejected (*DuplicateResourceError); resource names can only
+// be checked against a compiled design, which Simulate does.
 func ParseContention(s string) ([]ContentionSpec, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -65,6 +96,9 @@ func ParseContention(s string) ([]ContentionSpec, error) {
 			return nil, fmt.Errorf("core: contention entry %q: %w", entry, err)
 		}
 		out = append(out, cs)
+	}
+	if err := checkDuplicateResources(out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

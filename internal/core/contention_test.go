@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -8,6 +9,57 @@ import (
 	"sparcs/internal/sim"
 	"sparcs/internal/workload"
 )
+
+// TestDuplicateResourceRejected pins the typed rejection of duplicate
+// resources across all three parser front ends — and that the
+// compositional cases (single+shared on one resource, repeated shared
+// spans) remain accepted: those describe independent background
+// processes, not a silently merged one.
+func TestDuplicateResourceRejected(t *testing.T) {
+	assertDup := func(t *testing.T, err error, resource string) {
+		t.Helper()
+		var dup *DuplicateResourceError
+		if !errors.As(err, &dup) {
+			t.Fatalf("want *DuplicateResourceError, got %v", err)
+		}
+		if dup.Resource != resource {
+			t.Fatalf("error names resource %q, want %q", dup.Resource, resource)
+		}
+	}
+
+	specs, err := ParseContention("M1=hog,M1=bursty")
+	if specs != nil {
+		t.Fatalf("duplicate list returned partial specs %+v", specs)
+	}
+	assertDup(t, err, "M1")
+
+	if _, err := ParseContention("M1=hog,M3=bursty"); err != nil {
+		t.Fatalf("distinct resources rejected: %v", err)
+	}
+
+	shared, err := ParseSharedContention("M1+M3+M1=corr")
+	if shared != nil {
+		t.Fatalf("duplicate span returned partial specs %+v", shared)
+	}
+	assertDup(t, err, "M1")
+
+	single, mixed, err := ParseMixedContention("M1=hog,M1=bursty,M2+M3=corr")
+	if single != nil || mixed != nil {
+		t.Fatalf("duplicate mixed list returned partial specs %+v / %+v", single, mixed)
+	}
+	assertDup(t, err, "M1")
+
+	// A resource under both independent and correlated load is two
+	// distinct background processes — still accepted.
+	if _, _, err := ParseMixedContention("M1=hog,M1+M3=corr"); err != nil {
+		t.Fatalf("single+shared composition rejected: %v", err)
+	}
+	// Repeating a shared span across entries adds lanes of another
+	// correlated source — still accepted.
+	if _, err := ParseSharedContention("M1+M3=corr,M1+M3=corr:0.50"); err != nil {
+		t.Fatalf("repeated shared span rejected: %v", err)
+	}
+}
 
 // policyOpts returns paper options with NewPolicy backed by the given
 // spec string, panicking on sizes the spec cannot serve (the tests only
@@ -21,6 +73,13 @@ func policyOpts(t *testing.T, spec string) Options {
 	opts := paperOpts()
 	opts.NewPolicy = func(n int) arbiter.Policy {
 		p, err := sp.New(n)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	opts.NewPolicyWidened = func(members, width int) arbiter.Policy {
+		p, err := sp.NewWidened(members, width)
 		if err != nil {
 			panic(err)
 		}
@@ -78,14 +137,15 @@ func TestZeroRateContentionByteIdentical(t *testing.T) {
 	}
 }
 
-// neutralPolicies are the specs whose grant decisions depend only on
-// the requesting subset and its cyclic order, so appending request
-// lines that never assert cannot change them. hier is excluded by
-// design: its balanced tree re-partitions the members when the total
-// line count grows, so only the silent-elision path (tested above) is a
-// no-op for it.
+// neutralPolicies are the specs for which appending request lines that
+// never assert cannot change the member grant stream: either the grant
+// decisions depend only on the requesting subset and its cyclic order,
+// or — for hier — the widened constructor (NewPolicyWidened /
+// arbiter.NewHierarchicalWidened) keeps the member-line tree layout
+// identical to the unwidened arbiter's and parks the appended lanes in
+// their own always-idle cluster.
 func neutralPolicies() []string {
-	return []string{"rr", "fifo", "priority", "random:1", "fsm", "netlist:one-hot", "preemptive:4", "wrr:2"}
+	return []string{"rr", "fifo", "priority", "random:1", "fsm", "netlist:one-hot", "preemptive:4", "wrr:2", "hier:2"}
 }
 
 // TestQuietTracePlumbingDoesNotPerturb drives the stronger differential
@@ -152,6 +212,7 @@ func simulateWithQuietTrace(t *testing.T, d *Design, mem *sim.Memory, opts Optio
 			ResourceOfSegment: sp.Inserted.ResourceOfSegment,
 			ResourceOfChannel: sp.Inserted.ResourceOfChannel,
 			NewPolicy:         opts.NewPolicy,
+			NewPolicyWidened:  opts.NewPolicyWidened,
 			Memory:            mem,
 		}
 		for _, a := range sp.Inserted.Arbiters {

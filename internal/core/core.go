@@ -27,6 +27,13 @@ type Options struct {
 	// NewPolicy picks the arbiter implementation for simulation; nil uses
 	// the behavioral round-robin.
 	NewPolicy func(n int) arbiter.Policy
+	// NewPolicyWidened, when non-nil, constructs policies for arbiters
+	// widened by background contention (see sim.Config.NewPolicyWidened):
+	// it receives the member line count alongside the total simulated
+	// width so layout-sensitive policies (the hierarchical tree) can keep
+	// their member-line structure stable under widening. Nil widens via
+	// NewPolicy(width).
+	NewPolicyWidened func(members, width int) arbiter.Policy
 	// MaxCyclesPerStage bounds each stage simulation.
 	MaxCyclesPerStage int
 	// DisableTraces skips per-cycle arbiter trace recording — the one
@@ -167,6 +174,7 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 			ResourceOfSegment: sp.Inserted.ResourceOfSegment,
 			ResourceOfChannel: sp.Inserted.ResourceOfChannel,
 			NewPolicy:         opts.NewPolicy,
+			NewPolicyWidened:  opts.NewPolicyWidened,
 			MaxCycles:         opts.MaxCyclesPerStage,
 			Memory:            mem,
 			DisableTraces:     opts.DisableTraces,

@@ -17,6 +17,7 @@ func fuzzContentionSeeds() []string {
 		"=hog", "M1=", "M1", ",", "M1=hog,,M3=bursty", "M1==hog",
 		"M1=bogus", "M1=bernoulli", "M1=bernoulli:1.5", "M 1=hog",
 		"M1=hog/2/3", "préemptive=hog", "M1=hog\x00",
+		"M1=hog,M1=bursty", "M1=hog/2,M1=hog/2", "M2=hog,M1=bursty,M2=silent",
 	}
 }
 
@@ -28,6 +29,7 @@ func fuzzSharedSeeds() []string {
 		"M1+M3=corr/0", "M1+M3=corr/-2", "M1+M3=corr/x",
 		"+M1=corr", "M1+=corr", "M1+M3=", "M1+M3", "=corr",
 		"M1+M3=bogus", "M1=corr", "M1+M3=corr:2.0", "M1+M1=corr",
+		"M1+M3+M1=corr", "M1+M3=corr,M1+M3=corr:0.50",
 	}
 }
 
@@ -37,6 +39,8 @@ func fuzzMixedSeeds() []string {
 		"", "M1=hog,M1+M3=corr:0.25", "M1+M3=corr,M1=hog/2",
 		"M1=hog/2,M3=bernoulli:0.30,M1+M3=corr:0.25/2",
 		"M1+M3=corr,M2=bursty,", "M1=hog,M1+M3",
+		"M1=hog,M1=bursty,M1+M3=corr", "M1+M1=corr,M2=hog",
+		"M1=hog,M1+M3=corr,M3=bursty",
 	}
 }
 

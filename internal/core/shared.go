@@ -73,6 +73,13 @@ func parseSharedEntry(entry string) (SharedContentionSpec, error) {
 		return SharedContentionSpec{}, fmt.Errorf("core: shared contention entry %q is not res1+res2=workload[/lanes]", entry)
 	}
 	cs := SharedContentionSpec{Resources: strings.Split(entry[:eq], "+"), Workload: entry[eq+1:], Lanes: 1}
+	seen := make(map[string]bool, len(cs.Resources))
+	for _, r := range cs.Resources {
+		if seen[r] {
+			return SharedContentionSpec{}, fmt.Errorf("core: shared contention entry %q: %w", entry, &DuplicateResourceError{Resource: r})
+		}
+		seen[r] = true
+	}
 	if sl := strings.LastIndexByte(cs.Workload, '/'); sl >= 0 {
 		v, err := strconv.Atoi(cs.Workload[sl+1:])
 		if err != nil || v < 1 {
@@ -91,7 +98,11 @@ func parseSharedEntry(entry string) (SharedContentionSpec, error) {
 // both grammars: entries whose resource half contains '+' become
 // correlated SharedContentionSpecs, the rest single-resource
 // ContentionSpecs. This is the one-flag front end cmd/sparcs and the
-// System API expose ("M1=hog/2,M1+M3=corr:0.25").
+// System API expose ("M1=hog/2,M1+M3=corr:0.25"). Duplicate
+// single-resource entries are rejected with a *DuplicateResourceError,
+// same as ParseContention; a resource may still appear in both a
+// single-resource and a shared entry (independent plus correlated
+// load compose).
 func ParseMixedContention(s string) ([]ContentionSpec, []SharedContentionSpec, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil, nil
@@ -114,6 +125,9 @@ func ParseMixedContention(s string) ([]ContentionSpec, []SharedContentionSpec, e
 			return nil, nil, err
 		}
 		single = append(single, cs...)
+	}
+	if err := checkDuplicateResources(single); err != nil {
+		return nil, nil, err
 	}
 	return single, shared, nil
 }

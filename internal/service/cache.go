@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sparcs"
+)
+
+// systemCache is the compile-once half of the service: compiled Systems
+// keyed by their design hash (sparcs.DesignHash), with singleflight
+// semantics — concurrent requests for one uncached design trigger
+// exactly one core.Compile, and every later request for the same hash
+// skips compilation entirely. Entries are never evicted: a compiled
+// System is a few compiled stages, and the design space a server
+// instance sees is bounded by its registry.
+type systemCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits     atomic.Int64 // requests that found an existing entry
+	misses   atomic.Int64 // requests that created the entry
+	compiles atomic.Int64 // actual core.Compile executions (== misses)
+}
+
+type cacheEntry struct {
+	once sync.Once
+	sys  *sparcs.System
+	err  error
+}
+
+func newSystemCache() *systemCache {
+	return &systemCache{entries: map[string]*cacheEntry{}}
+}
+
+// get returns the compiled System for hash, compiling at most once per
+// hash across all callers. hit reports whether the entry already
+// existed — a request arriving while the first compile is still in
+// flight counts as a hit: it blocks on the singleflight instead of
+// compiling. Compile errors are cached too: the hash covers every
+// compile input, so the same inputs fail the same way.
+func (c *systemCache) get(hash string, compile func() (*sparcs.System, error)) (sys *sparcs.System, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[hash]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[hash] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.sys, e.err = compile()
+	})
+	return e.sys, ok, e.err
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"encoding/json"
+
+	"sparcs"
+)
+
+// ResultJSON is the canonical wire form of one experiment result. It
+// carries the statistics a remote experimenter steers on — cycle
+// counts, per-task finish/wait times, per-resource grant totals,
+// memory/channel traffic, violation count — and nothing
+// machine-dependent, so the encoding of a run is byte-identical
+// wherever it executes. Per-cycle traces stay server-side: they are the
+// one simulation output whose size grows with cycle count.
+type ResultJSON struct {
+	TotalCycles int         `json:"totalCycles"`
+	Stages      []StageJSON `json:"stages"`
+}
+
+// StageJSON is one stage's statistics in ResultJSON.
+type StageJSON struct {
+	Cycles       int            `json:"cycles"`
+	Done         bool           `json:"done"`
+	TaskFinish   map[string]int `json:"taskFinish,omitempty"`
+	WaitCycles   map[string]int `json:"waitCycles,omitempty"`
+	GrantsByRes  map[string]int `json:"grantsByRes,omitempty"`
+	MemReads     int            `json:"memReads"`
+	MemWrites    int            `json:"memWrites"`
+	ChannelSends int            `json:"channelSends"`
+	Violations   int            `json:"violations"`
+}
+
+// EncodeResult renders the canonical newline-terminated JSON encoding
+// of a run result. The encoding is deterministic — encoding/json emits
+// map keys in sorted order — so two byte-equal encodings mean two
+// experiments produced identical statistics; the differential tests and
+// the CI smoke diff the server's response body against this function
+// applied to an offline System.Run.
+func EncodeResult(res *sparcs.Result) ([]byte, error) {
+	out := ResultJSON{TotalCycles: res.TotalCycles}
+	for _, ss := range res.Stages {
+		st := ss.Stats
+		out.Stages = append(out.Stages, StageJSON{
+			Cycles:       st.Cycles,
+			Done:         st.Done,
+			TaskFinish:   st.TaskFinish,
+			WaitCycles:   st.WaitCycles,
+			GrantsByRes:  st.GrantsByRes,
+			MemReads:     st.MemReads,
+			MemWrites:    st.MemWrites,
+			ChannelSends: st.ChannelSends,
+			Violations:   len(st.Violations),
+		})
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

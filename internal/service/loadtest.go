@@ -1,0 +1,201 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadTestOptions parameterizes LoadTest. The zero value (plus URL)
+// drives 2000 requests from 128 concurrent clients at the fft design.
+type LoadTestOptions struct {
+	// URL is the server base URL ("http://127.0.0.1:8077").
+	URL string
+	// Requests is the total experiment count; <= 0 means 2000.
+	Requests int
+	// Concurrency is the number of concurrent clients; <= 0 means 128.
+	Concurrency int
+	// Design and Tiles pick the design; defaults "fft", 2.
+	Design string
+	Tiles  int
+	// Policies round-robins per-request WithPolicy specs; nil means
+	// {"", "priority", "wrr:2"} ("" is the rr baseline).
+	Policies []string
+	// Class is the admission class for every request; empty uses the
+	// server default.
+	Class string
+	// Seeds is the number of distinct contention seeds to cycle
+	// through; <= 0 means 8.
+	Seeds int
+}
+
+// LoadTestReport aggregates a LoadTest run: client-observed outcome
+// counts and latency percentiles, plus the server's stats delta
+// (cache behavior, admission rejections) over the run.
+type LoadTestReport struct {
+	Requests         int
+	OK               int
+	RejectedFull     int
+	RejectedDraining int
+	Failed           int
+	Duration         time.Duration
+	Throughput       float64 // completed (OK) experiments per second
+	P50, P99         time.Duration
+	CacheHits        int64
+	CacheMisses      int64
+	Compiles         int64
+}
+
+// String renders the report as an aligned block for the CLI.
+func (r *LoadTestReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests     %d (%d ok, %d rejected-429, %d rejected-503, %d failed)\n",
+		r.Requests, r.OK, r.RejectedFull, r.RejectedDraining, r.Failed)
+	fmt.Fprintf(&b, "duration     %v\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput   %.1f experiments/s\n", r.Throughput)
+	fmt.Fprintf(&b, "latency      p50 %v  p99 %v\n", r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "cache        %d hits, %d misses, %d compiles\n", r.CacheHits, r.CacheMisses, r.Compiles)
+	return b.String()
+}
+
+// LoadTest drives the server with concurrent experiment requests —
+// one design, varying policies and seeds, so the first request compiles
+// and every other hits the System cache — and reports throughput,
+// latency percentiles, cache behavior, and admission rejections.
+func LoadTest(opt LoadTestOptions) (*LoadTestReport, error) {
+	if opt.Requests <= 0 {
+		opt.Requests = 2000
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 128
+	}
+	if opt.Design == "" {
+		opt.Design = "fft"
+	}
+	if opt.Tiles <= 0 {
+		opt.Tiles = 2
+	}
+	if opt.Policies == nil {
+		opt.Policies = []string{"", "priority", "wrr:2"}
+	}
+	if opt.Seeds <= 0 {
+		opt.Seeds = 8
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.Concurrency,
+		MaxIdleConnsPerHost: opt.Concurrency,
+	}}
+
+	before, err := fetchStats(client, opt.URL)
+	if err != nil {
+		return nil, fmt.Errorf("service: loadtest stats probe: %w", err)
+	}
+
+	latencies := make([]time.Duration, opt.Requests)
+	outcomes := make([]int32, opt.Requests) // 0 ok, 1 full, 2 draining, 3 failed
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opt.Requests {
+					return
+				}
+				req := ExperimentRequest{
+					Design: opt.Design,
+					Tiles:  opt.Tiles,
+					Class:  opt.Class,
+					Run: RunSpec{
+						Policy: opt.Policies[i%len(opt.Policies)],
+						Seed:   uint64(i%opt.Seeds) + 1,
+					},
+				}
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(opt.URL+"/v1/experiments", "application/json", bytes.NewReader(body))
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					outcomes[i] = 3
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					outcomes[i] = 0
+				case http.StatusTooManyRequests:
+					outcomes[i] = 1
+				case http.StatusServiceUnavailable:
+					outcomes[i] = 2
+				default:
+					outcomes[i] = 3
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchStats(client, opt.URL)
+	if err != nil {
+		return nil, fmt.Errorf("service: loadtest stats probe: %w", err)
+	}
+
+	rep := &LoadTestReport{
+		Requests:    opt.Requests,
+		Duration:    elapsed,
+		CacheHits:   after.CacheHits - before.CacheHits,
+		CacheMisses: after.CacheMisses - before.CacheMisses,
+		Compiles:    after.Compiles - before.Compiles,
+	}
+	var okLat []time.Duration
+	for i, o := range outcomes {
+		switch o {
+		case 0:
+			rep.OK++
+			okLat = append(okLat, latencies[i])
+		case 1:
+			rep.RejectedFull++
+		case 2:
+			rep.RejectedDraining++
+		default:
+			rep.Failed++
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.OK) / elapsed.Seconds()
+	}
+	if len(okLat) > 0 {
+		sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+		rep.P50 = okLat[len(okLat)*50/100]
+		rep.P99 = okLat[len(okLat)*99/100]
+	}
+	return rep, nil
+}
+
+func fetchStats(client *http.Client, base string) (*Stats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: stats endpoint returned %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -55,6 +55,16 @@ type Config struct {
 	// arbiter.NewFSMPolicy or a netlist-backed policy simulates the
 	// actual generated hardware.
 	NewPolicy func(n int) arbiter.Policy
+	// NewPolicyWidened, when non-nil, constructs the policy for arbiters
+	// whose request vectors background sources widened: members is the
+	// member-task line count and width the total (members + phantom +
+	// shared lanes). Policies whose internal structure depends on how
+	// lines are grouped (the hierarchical tree) use it to keep the
+	// member-line layout identical to the unwidened arbiter's —
+	// arbiter.PolicySpec.NewWidened is the canonical implementation.
+	// Unwidened arbiters always use NewPolicy; nil falls back to
+	// NewPolicy(width) for widened ones too.
+	NewPolicyWidened func(members, width int) arbiter.Policy
 	// MaxCycles bounds the run (deadlock watchdog). 0 means 10 million.
 	MaxCycles int
 	// Memory carries segment contents across stages; nil starts blank.
@@ -304,7 +314,11 @@ func Run(cfg Config) (*Stats, error) {
 	// BitSteppers, via a setup-allocated []bool adapter otherwise.
 	for _, spec := range cfg.Arbiters {
 		ai := arbs[spec.Resource]
-		ai.policy = newPolicy(ai.width)
+		if ai.width > ai.memberN && cfg.NewPolicyWidened != nil {
+			ai.policy = cfg.NewPolicyWidened(ai.memberN, ai.width)
+		} else {
+			ai.policy = newPolicy(ai.width)
+		}
 		ai.stepper = arbiter.AsBitStepper(ai.policy)
 	}
 	arbList := make([]*arbInst, 0, len(arbs))

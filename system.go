@@ -328,11 +328,13 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 		// Validate size-dependent policies against every arbiter's
 		// simulated width (members + phantoms + correlated lanes) so the
 		// run fails cleanly up front instead of panicking mid-stage.
+		// Widened arbiters validate through NewWidened, which keeps
+		// layout-sensitive policies (hier) anchored to the member count.
 		widths := core.StageWidths(s.design, c.opts)
 		for si, sp := range s.design.Stages {
 			for _, a := range sp.Inserted.Arbiters {
 				w := widths[si][a.Resource]
-				if _, err := c.policy.New(w); err != nil {
+				if _, err := c.policy.NewWidened(a.N(), w); err != nil {
 					return nil, fmt.Errorf("sparcs: policy %s unusable for the %d-line arbiter on %s in stage %d (%d members + %d background): %w",
 						c.policy, w, a.Resource, si, a.N(), w-a.N(), err)
 				}
@@ -343,6 +345,13 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 			p, err := spec.New(n)
 			if err != nil {
 				panic(fmt.Sprintf("policy %s at N=%d: %v", spec, n, err)) // unreachable: widths validated above
+			}
+			return p
+		}
+		c.opts.NewPolicyWidened = func(members, width int) arbiter.Policy {
+			p, err := spec.NewWidened(members, width)
+			if err != nil {
+				panic(fmt.Sprintf("policy %s at %d members widened to %d: %v", spec, members, width, err)) // unreachable: widths validated above
 			}
 			return p
 		}
@@ -358,13 +367,34 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 	return &Result{RunResult: res, system: s}, nil
 }
 
+// SweepError reports a failing experiment inside a System.Sweep. The
+// sweep still runs (and returns) every sibling experiment — a bad
+// option set must not discard the rest of the fan-out — so callers get
+// the completed results alongside the typed failure. Index is the
+// input-order position of the first failing experiment; Err is its Run
+// error (errors.Is/As see through Unwrap).
+type SweepError struct {
+	Index int
+	Err   error
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("sparcs: sweep experiment %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the failing experiment's underlying Run error.
+func (e *SweepError) Unwrap() error { return e.Err }
+
 // Sweep runs one experiment per option set concurrently across
 // GOMAXPROCS workers — the compile-once fan-out behind the paper-table
 // sweeps. Each experiment is an independent Run composed from its own
 // RunOption slice (nil means the baseline run), so option sets must not
 // share stateful values like a WithMemory image. Results come back in
-// input order; the first failing experiment (by input order) reports its
-// error with its index.
+// input order. Every experiment always runs to completion (no worker
+// goroutines are abandoned mid-sweep); if any fail, the completed
+// siblings' results are still returned — failed slots are nil — along
+// with a *SweepError carrying the first failing experiment's index (by
+// input order) and error.
 func (s *System) Sweep(experiments ...[]RunOption) ([]*Result, error) {
 	out := make([]*Result, len(experiments))
 	errs := make([]error, len(experiments))
@@ -373,7 +403,7 @@ func (s *System) Sweep(experiments ...[]RunOption) ([]*Result, error) {
 	})
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sparcs: sweep experiment %d: %w", i, err)
+			return out, &SweepError{Index: i, Err: err}
 		}
 	}
 	return out, nil

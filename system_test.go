@@ -421,13 +421,67 @@ func TestSystemSweep(t *testing.T) {
 			}
 		}
 	}
-	// A failing experiment reports its index; earlier successes are
-	// discarded rather than half-returned.
+	// A failing experiment reports its index without discarding the
+	// completed siblings (partial-failure semantics pinned in detail by
+	// TestSystemSweepPartialFailure).
 	_, err = sys.Sweep(nil, []sparcs.RunOption{sparcs.WithPolicy("nope")})
 	if err == nil {
 		t.Fatal("Sweep with a bad experiment should error")
 	}
 	if !strings.Contains(err.Error(), "sweep experiment 1") || !strings.Contains(err.Error(), "unknown policy") {
 		t.Fatalf("error %q should name the failing experiment and cause", err)
+	}
+}
+
+// TestSystemSweepPartialFailure: a sweep mixing valid and invalid
+// option sets must run every valid experiment to completion and return
+// their results alongside a typed *sparcs.SweepError naming the first
+// failing index — a bad option set must not discard (or leak the
+// goroutines of) its siblings.
+func TestSystemSweepPartialFailure(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments := [][]sparcs.RunOption{
+		nil,                                   // 0: valid baseline
+		{sparcs.WithPolicy("no-such-policy")}, // 1: fails at option parse
+		{sparcs.WithPolicy("fifo")},           // 2: valid
+		{sparcs.WithContention("M9=hog/1")},   // 3: fails validation (M9 unarbitrated)
+		{sparcs.WithPolicy("priority")},       // 4: valid
+	}
+	got, err := sys.Sweep(experiments...)
+	if err == nil {
+		t.Fatal("Sweep with invalid experiments should error")
+	}
+	var se *sparcs.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("Sweep error %T (%v) is not a *sparcs.SweepError", err, err)
+	}
+	if se.Index != 1 {
+		t.Fatalf("SweepError.Index = %d, want 1 (first failure by input order)", se.Index)
+	}
+	if se.Err == nil || !strings.Contains(se.Err.Error(), "unknown policy") {
+		t.Fatalf("SweepError.Err = %v, want the underlying policy-parse error", se.Err)
+	}
+	if len(got) != len(experiments) {
+		t.Fatalf("Sweep returned %d results for %d experiments", len(got), len(experiments))
+	}
+	for _, i := range []int{0, 2, 4} {
+		if got[i] == nil {
+			t.Fatalf("experiment %d: completed sibling result discarded", i)
+		}
+		want, err := sys.Run(experiments[i]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].TotalCycles != want.TotalCycles {
+			t.Fatalf("experiment %d: sweep %d cycles, sequential %d", i, got[i].TotalCycles, want.TotalCycles)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if got[i] != nil {
+			t.Fatalf("experiment %d: failing slot should be nil, got a result", i)
+		}
 	}
 }
