@@ -1,5 +1,6 @@
 // Command sparcsvet runs the repo's static-analysis suite
-// (internal/analysis): hotpath, determinism, bitwidth, errsentinel.
+// (internal/analysis): hotpath, determinism, bitwidth, errsentinel,
+// lockorder, goroleak.
 //
 // Standalone over the module (package patterns as for go build):
 //
@@ -10,10 +11,11 @@
 //	go build -o /tmp/sparcsvet ./cmd/sparcsvet
 //	go vet -vettool=/tmp/sparcsvet ./...
 //
-// Standalone mode sees the whole module at once, so the hotpath
-// analyzer follows static calls across package boundaries and unused
-// //sparcs:ignore comments are reported; vet mode analyzes one package
-// per invocation and skips both. CI runs the standalone form.
+// Standalone mode sees the whole module at once, so the call graph
+// spans package boundaries (interprocedural hotpath, lockorder cycle
+// detection) and unused //sparcs:ignore comments are reported; vet mode
+// analyzes one package per invocation and skips both. CI runs the
+// standalone form as the gate and the vet form as a protocol smoke.
 package main
 
 import (

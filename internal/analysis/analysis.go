@@ -1,21 +1,32 @@
 // Package analysis is sparcsvet's static-analysis framework: the
 // Analyzer/Pass/Diagnostic surface of golang.org/x/tools/go/analysis,
 // re-implemented on the standard library alone because this module
-// deliberately carries no external dependencies. The four analyzers in
-// this package mechanically enforce the invariants every differential
-// proof in the repo rests on:
+// deliberately carries no external dependencies. The analyzers in this
+// package mechanically enforce the invariants every differential proof
+// in the repo rests on:
 //
-//	hotpath      — //sparcs:hotpath code (and the module-local functions
-//	               it statically calls) must not allocate
-//	determinism  — cycle-rate packages must not read wall clocks, global
-//	               rand, unordered map iteration, or spawn goroutines
-//	               outside sim.ParallelFor
+//	hotpath      — //sparcs:hotpath code (and every module-local function
+//	               it can reach through the call graph, devirtualized
+//	               interface calls included) must not allocate
+//	determinism  — cycle-rate packages must not read wall clocks, the
+//	               environment, CPU counts, global rand, unordered map
+//	               iteration, or spawn goroutines outside sim.ParallelFor
 //	bitwidth     — BitVec shifts must stay below the 64-bit word, []bool
 //	               request vectors must not be built on the cycle path,
 //	               and the 16/64 size bounds must be spelled
 //	               MaxSynthN/MaxN
 //	errsentinel  — sentinel errors are wrapped with %w and tested with
 //	               errors.Is/errors.As, never string-matched
+//	lockorder    — the module-wide lock acquisition graph must be
+//	               acyclic, and no code may block while holding a lock
+//	goroleak     — service goroutines must select on ctx.Done() or block
+//	               only on buffered channel sends; slot acquires pair
+//	               with deferred releases
+//
+// The analyzers share a module-wide call graph (see callgraph.go) that
+// resolves static calls exactly and devirtualizes interface calls over
+// the module's type index, so interprocedural walks survive dynamic
+// dispatch.
 //
 // Findings are suppressed per site with
 //
@@ -81,10 +92,15 @@ type Package struct {
 	Dir  string
 	// Root marks packages named by the load patterns; analyzers run on
 	// roots, while dependency packages provide cross-package context.
-	Root  bool
-	Files []*ast.File
-	Pkg   *types.Package
-	Info  *types.Info
+	Root bool
+	// Broken marks a package whose load failed (parse or type-check
+	// errors, or a broken local dependency). Its failure is recorded in
+	// Module.Errors; analyzers skip it, but whatever parsed survives for
+	// comment-level processing. Pkg/Info may be nil or partial.
+	Broken bool
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
 	// Src maps each file name (as registered in the FileSet) to its
 	// source bytes, for line-level comment classification.
 	Src map[string][]byte
@@ -104,6 +120,17 @@ type Module struct {
 	Path string
 	Fset *token.FileSet
 	Pkgs map[string]*Package
+	// Errors are load-time failures — parse errors, type-check errors,
+	// packages skipped because a dependency is broken — surfaced as
+	// driver diagnostics so a broken package fails the run loudly
+	// instead of silently dropping out of analysis. They are not
+	// ignorable.
+	Errors []Diagnostic
+
+	cg        *CallGraph            // lazily built by CallGraph()
+	named     []types.Type          // lazily collected by namedTypes()
+	implCache map[any][]*types.Func // devirtualization cache
+	locks     *lockReport           // lazily computed by lockorder
 }
 
 // Local returns the source-loaded package for pkg, if any — the
@@ -127,10 +154,12 @@ func (m *Module) Decl(fn *types.Func) (*Package, *ast.FuncDecl) {
 }
 
 // Roots returns the packages analyzers run on, sorted by import path.
+// Broken packages are excluded: their failure is already reported
+// through Module.Errors, and analyzers need sound type information.
 func (m *Module) Roots() []*Package {
 	var roots []*Package
 	for _, p := range m.Pkgs {
-		if p.Root {
+		if p.Root && !p.Broken {
 			roots = append(roots, p)
 		}
 	}
@@ -375,6 +404,9 @@ func ApplyIgnores(m *Module, active []*Analyzer, diags []Diagnostic, reportUnuse
 			kept = append(kept, d)
 		}
 	}
+	// Load failures pass through unsuppressed: a broken package must
+	// fail the run, not hide behind an ignore comment.
+	kept = append(kept, m.Errors...)
 	for _, ig := range all {
 		switch {
 		case ig.malformed != "":
@@ -422,7 +454,7 @@ func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 
 // All returns the sparcsvet analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Hotpath, Determinism, Bitwidth, ErrSentinel}
+	return []*Analyzer{Hotpath, Determinism, Bitwidth, ErrSentinel, Lockorder, Goroleak}
 }
 
 // typesInfo returns a fully populated types.Info for one package check.

@@ -27,6 +27,21 @@ func TestErrSentinel(t *testing.T) {
 	vettest.Run(t, "testdata/errsentinel", analysis.ErrSentinel, "errsent")
 }
 
+func TestLockorder(t *testing.T) {
+	vettest.Run(t, "testdata/lockorder", analysis.Lockorder, "locks")
+}
+
+func TestGoroleak(t *testing.T) {
+	vettest.Run(t, "testdata/goroleak", analysis.Goroleak, "sparcs/internal/service", "other")
+}
+
+// TestBrokenPackage exercises the hardened loader: a type-error package
+// and its dependent surface as driver diagnostics at pointed positions,
+// while a healthy sibling package is still analyzed.
+func TestBrokenPackage(t *testing.T) {
+	vettest.Run(t, "testdata/broken", analysis.Hotpath, "brokendep", "uses", "fine")
+}
+
 // TestIgnores exercises the //sparcs:ignore machinery end to end:
 // trailing and standalone suppression, per-analyzer scoping, and the
 // driver's malformed/unused reporting.

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the module-wide call graph the interprocedural
+// analyzers (hotpath, lockorder, goroleak) share. Edges come from three
+// resolution classes:
+//
+//   - static calls: plain function calls and concrete method calls,
+//     resolved exactly;
+//   - devirtualized interface calls: a call through an interface method
+//     fans out to the corresponding method of EVERY module-local type
+//     implementing the interface — a sound over-approximation of which
+//     implementation runs, provided the implementations live in this
+//     module (they do: the module is dependency-free, so no external
+//     package can implement its interfaces against it);
+//   - unresolved dynamic calls: calls through function values (fields,
+//     parameters, closures). These have no callee set; the graph
+//     records them per call site so analyzers can treat them with
+//     whatever conservatism their invariant needs.
+
+// CallKind classifies how a call site was resolved.
+type CallKind int
+
+const (
+	// CallStatic is an exactly resolved function or method call.
+	CallStatic CallKind = iota
+	// CallInterface is an interface method call devirtualized to every
+	// module-local implementation.
+	CallInterface
+	// CallDynamic is a call through a function value: no callee set.
+	CallDynamic
+	// CallBuiltin covers builtins and type conversions; no callees.
+	CallBuiltin
+)
+
+// A CallSite is one CallExpr inside a function body, with its resolved
+// callee set.
+type CallSite struct {
+	Call *ast.CallExpr
+	Kind CallKind
+	// Callees are the possible targets, deduplicated: one function for
+	// CallStatic (when module-local knowledge exists — std targets are
+	// included too), every module-local implementation for
+	// CallInterface. Sorted by position for determinism.
+	Callees []*types.Func
+}
+
+// A CallNode is one declared function or method and the call sites in
+// its body.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Sites []CallSite
+}
+
+// A CallGraph is the module-wide graph over every declared function of
+// every source-loaded (non-broken) package.
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+	mod   *Module
+}
+
+// CallGraph builds (once) and returns the module's call graph.
+func (m *Module) CallGraph() *CallGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	cg := &CallGraph{Nodes: map[*types.Func]*CallNode{}, mod: m}
+	for _, p := range m.Pkgs {
+		if p.Broken {
+			continue
+		}
+		for fn, decl := range p.Funcs {
+			if decl.Body == nil {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: decl, Pkg: p}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					node.Sites = append(node.Sites, m.resolveCall(p, call))
+				}
+				return true
+			})
+			cg.Nodes[fn] = node
+		}
+	}
+	m.cg = cg
+	return cg
+}
+
+// Node returns the graph node for fn, or nil for functions without
+// module-local bodies.
+func (g *CallGraph) Node(fn *types.Func) *CallNode { return g.Nodes[fn] }
+
+// Functions returns every node sorted by declaration position — the
+// deterministic iteration order for fixed-point passes.
+func (g *CallGraph) Functions() []*CallNode {
+	out := make([]*CallNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// resolveCall classifies one call site and computes its callee set.
+// pkg must be the package owning the call's AST (its Info binds the
+// identifiers).
+func (m *Module) resolveCall(pkg *Package, call *ast.CallExpr) CallSite {
+	info := pkg.Info
+	site := CallSite{Call: call}
+
+	// Type conversions and builtins have no function callee.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		site.Kind = CallBuiltin
+		return site
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			site.Kind = CallBuiltin
+			return site
+		}
+	}
+
+	if fn := staticCallee(info, call); fn != nil {
+		site.Kind = CallStatic
+		site.Callees = []*types.Func{fn}
+		return site
+	}
+
+	// Interface method call: devirtualize over the module's type index.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv()) {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				site.Kind = CallInterface
+				site.Callees = m.implementations(iface, s.Obj().(*types.Func))
+				return site
+			}
+		}
+	}
+
+	// Function value (parameter, field, closure): unresolved.
+	site.Kind = CallDynamic
+	return site
+}
+
+// implementations returns the declared method of every module-local
+// concrete type that implements iface, matching the interface method
+// ifn. The result is cached per (iface, method) pair and sorted by
+// declaration position.
+func (m *Module) implementations(iface *types.Interface, ifn *types.Func) []*types.Func {
+	type implKey struct {
+		iface *types.Interface
+		fn    *types.Func
+	}
+	if m.implCache == nil {
+		m.implCache = map[any][]*types.Func{}
+	}
+	key := implKey{iface, ifn}
+	if impls, ok := m.implCache[key]; ok {
+		return impls
+	}
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, T := range m.namedTypes() {
+		if types.IsInterface(T) {
+			continue
+		}
+		ptr := types.NewPointer(T)
+		if !types.Implements(T, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		// The method set of *T contains both value and pointer methods.
+		sel := types.NewMethodSet(ptr).Lookup(ifn.Pkg(), ifn.Name())
+		if sel == nil {
+			continue
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok || seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		// Only module-local declarations matter: the walkers need bodies.
+		if _, decl := m.Decl(fn); decl != nil {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := m.funcPos(out[i]), m.funcPos(out[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return out[i].FullName() < out[j].FullName()
+	})
+	m.implCache[key] = out
+	return out
+}
+
+func (m *Module) funcPos(fn *types.Func) token.Pos {
+	if _, decl := m.Decl(fn); decl != nil {
+		return decl.Pos()
+	}
+	return fn.Pos()
+}
+
+// namedTypes collects (once) every named non-alias type declared in the
+// module's source-loaded packages, sorted by position.
+func (m *Module) namedTypes() []types.Type {
+	if m.named != nil {
+		return m.named
+	}
+	m.named = []types.Type{}
+	var paths []string
+	for path := range m.Pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := m.Pkgs[path]
+		if p.Broken || p.Pkg == nil {
+			continue
+		}
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			m.named = append(m.named, tn.Type())
+		}
+	}
+	return m.named
+}

@@ -1,0 +1,88 @@
+package analysis_test
+
+import (
+	"sort"
+	"testing"
+
+	"sparcs/internal/analysis"
+)
+
+// TestCallGraph pins the three resolution classes on the cg fixture:
+// a concrete method call resolves to exactly one static callee, an
+// interface call devirtualizes to every module-local implementation,
+// and a call through a function value is recorded dynamic with no
+// callees. Builtins are classified out of the way.
+func TestCallGraph(t *testing.T) {
+	m, err := analysis.LoadTree("testdata/callgraph/src", "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.CallGraph()
+
+	nodes := map[string]*analysis.CallNode{}
+	for _, n := range g.Functions() {
+		nodes[n.Fn.Name()] = n
+	}
+	node := func(name string) *analysis.CallNode {
+		t.Helper()
+		n, ok := nodes[name]
+		if !ok {
+			t.Fatalf("no call-graph node for %s", name)
+		}
+		return n
+	}
+	calleeNames := func(s analysis.CallSite) []string {
+		var out []string
+		for _, fn := range s.Callees {
+			out = append(out, fn.FullName())
+		}
+		sort.Strings(out)
+		return out
+	}
+	sitesOf := func(name string, kind analysis.CallKind) []analysis.CallSite {
+		var out []analysis.CallSite
+		for _, s := range node(name).Sites {
+			if s.Kind == kind {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	// Run: one interface site, devirtualized to both Step implementations.
+	ifaceSites := sitesOf("Run", analysis.CallInterface)
+	if len(ifaceSites) != 1 {
+		t.Fatalf("Run: %d interface sites, want 1", len(ifaceSites))
+	}
+	got := calleeNames(ifaceSites[0])
+	want := []string{"(cg.Doubler).Step", "(*cg.Tripler).Step"}
+	sort.Strings(want)
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Run devirtualizes to %v, want %v", got, want)
+	}
+
+	// Direct: a concrete method call is static with exactly one callee.
+	staticSites := sitesOf("Direct", analysis.CallStatic)
+	if len(staticSites) != 1 || len(staticSites[0].Callees) != 1 ||
+		staticSites[0].Callees[0].FullName() != "(cg.Doubler).Step" {
+		t.Errorf("Direct: static sites %+v, want one call to (cg.Doubler).Step", staticSites)
+	}
+
+	// Apply: function-value call is dynamic with no callees.
+	dynSites := sitesOf("Apply", analysis.CallDynamic)
+	if len(dynSites) != 1 || len(dynSites[0].Callees) != 0 {
+		t.Errorf("Apply: dynamic sites %+v, want exactly one with no callees", dynSites)
+	}
+	if n := len(node("Apply").Sites); n != 1 {
+		t.Errorf("Apply has %d sites total, want 1", n)
+	}
+
+	// Mixed: make/len are builtins, Direct is static.
+	if n := len(sitesOf("Mixed", analysis.CallBuiltin)); n != 2 {
+		t.Errorf("Mixed: %d builtin sites, want 2 (make, len)", n)
+	}
+	st := sitesOf("Mixed", analysis.CallStatic)
+	if len(st) != 1 || len(st[0].Callees) != 1 || st[0].Callees[0].FullName() != "cg.Direct" {
+		t.Errorf("Mixed: static sites %+v, want one call to cg.Direct", st)
+	}
+}

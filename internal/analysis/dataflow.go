@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the forward dataflow pass under lockorder and goroleak:
+// it walks function bodies in execution order tracking which mutexes
+// are held at each point, classifies the synchronization operations it
+// meets (acquire, release, condition wait, channel ops, blocking std
+// calls), and hands each event — with the current held-set — to
+// analyzer callbacks. Locks are abstracted type-level: every instance
+// of a struct field or package-level variable is one lock, which is the
+// granularity acquisition-order invariants live at.
+
+// lockOpKind classifies one synchronization-relevant call.
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opAcquire
+	opRelease
+	opCondWait // releases and re-acquires its own lock while waiting
+	opBlocking // blocks without touching locks (WaitGroup.Wait, time.Sleep)
+)
+
+// lockFacts is the module-wide lock environment: stable names for lock
+// variables and the Cond -> lock associations recovered from
+// sync.NewCond call sites.
+type lockFacts struct {
+	mod      *Module
+	condLock map[*types.Var]*types.Var // cond var -> the lock it wraps
+	names    map[*types.Var]string
+}
+
+func newLockFacts(m *Module) *lockFacts {
+	lf := &lockFacts{mod: m, condLock: map[*types.Var]*types.Var{}, names: map[*types.Var]string{}}
+	// Recover cond associations: any `x = sync.NewCond(&l)` binds cond
+	// variable x to lock l, wherever the assignment lives.
+	for _, p := range m.Pkgs {
+		if p.Broken {
+			continue
+		}
+		for _, f := range nonTestFiles(m.Fset, p.Files) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				asg, ok := n.(*ast.AssignStmt)
+				if !ok || len(asg.Lhs) != len(asg.Rhs) {
+					return true
+				}
+				for i, rhs := range asg.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 || staticCalleePath(p.Info, call) != "sync.NewCond" {
+						continue
+					}
+					cv := lf.refVar(p, asg.Lhs[i])
+					un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+					if cv == nil || !ok || un.Op != token.AND {
+						continue
+					}
+					if lk := lf.refVar(p, un.X); lk != nil {
+						lf.condLock[cv] = lk
+					}
+				}
+				return true
+			})
+		}
+	}
+	return lf
+}
+
+// staticCalleePath returns "pkgpath.Name" for a statically resolved
+// call, or "".
+func staticCalleePath(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// refVar resolves an lvalue-ish expression to the variable that
+// identifies it for locking purposes: a struct field (type-level: all
+// instances unify) or a plain variable. Returns nil for anything more
+// dynamic (map/slice elements, results of calls).
+func (lf *lockFacts) refVar(p *Package, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok {
+			lf.nameVar(p, v, "")
+			return v
+		}
+		if v, ok := p.Info.Defs[e].(*types.Var); ok {
+			lf.nameVar(p, v, "")
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			v := sel.Obj().(*types.Var)
+			lf.nameVar(p, v, ownerTypeName(sel.Recv()))
+			return v
+		}
+		// Qualified package-level var (pkg.Mu).
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			lf.nameVar(p, v, "")
+			return v
+		}
+	}
+	return nil
+}
+
+func ownerTypeName(recv types.Type) string {
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// nameVar records a stable display name for a lock/cond variable.
+func (lf *lockFacts) nameVar(p *Package, v *types.Var, owner string) {
+	if _, ok := lf.names[v]; ok {
+		return
+	}
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Name() + "."
+	}
+	if owner != "" {
+		lf.names[v] = pkg + owner + "." + v.Name()
+	} else {
+		lf.names[v] = pkg + v.Name()
+	}
+}
+
+// name returns the display name of a lock variable.
+func (lf *lockFacts) name(v *types.Var) string {
+	if n, ok := lf.names[v]; ok {
+		return n
+	}
+	return v.Name()
+}
+
+// classifyLockCall classifies call as a synchronization operation. For
+// opAcquire/opRelease/opCondWait, lock is the abstract variable (nil if
+// the operand is too dynamic to resolve). desc describes opBlocking.
+func (lf *lockFacts) classifyLockCall(p *Package, call *ast.CallExpr) (kind lockOpKind, lock *types.Var, desc string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		if staticCalleePath(p.Info, call) == "time.Sleep" {
+			return opBlocking, nil, "time.Sleep"
+		}
+		return opNone, nil, ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return opNone, nil, ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return opBlocking, nil, "time.Sleep"
+		}
+		return opNone, nil, ""
+	case "sync":
+		// fallthrough to the receiver-type switch below
+	default:
+		return opNone, nil, ""
+	}
+	recv := ownerTypeName(recvType(p.Info, sel))
+	switch recv {
+	case "Mutex", "RWMutex":
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			return opAcquire, lf.refVar(p, sel.X), ""
+		case "Unlock", "RUnlock":
+			return opRelease, lf.refVar(p, sel.X), ""
+		}
+	case "Cond":
+		if fn.Name() == "Wait" {
+			if cv := lf.refVar(p, sel.X); cv != nil {
+				return opCondWait, lf.condLock[cv], ""
+			}
+			return opCondWait, nil, ""
+		}
+	case "WaitGroup":
+		if fn.Name() == "Wait" {
+			return opBlocking, nil, "sync.WaitGroup.Wait"
+		}
+	}
+	return opNone, nil, ""
+}
+
+func recvType(info *types.Info, sel *ast.SelectorExpr) types.Type {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return info.TypeOf(sel.X)
+}
+
+// heldSet is the dataflow fact: the locks held at a program point.
+type heldSet map[*types.Var]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// sorted returns the held locks ordered by display name, for
+// deterministic reporting.
+func (lf *lockFacts) sorted(h heldSet) []*types.Var {
+	out := make([]*types.Var, 0, len(h))
+	for v := range h {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return lf.name(out[i]) < lf.name(out[j]) })
+	return out
+}
+
+// flowHooks are the analyzer callbacks the walker drives. Any hook may
+// be nil.
+type flowHooks struct {
+	// acquire fires when a lock is taken; held excludes the new lock.
+	acquire func(held heldSet, lock *types.Var, pos token.Pos)
+	// blocking fires at a potentially forever-blocking operation:
+	// channel send/receive, select without default, range over channel,
+	// WaitGroup.Wait, time.Sleep. For cond waits, condLock names the
+	// lock Wait releases while sleeping (nil if unknown).
+	blocking func(held heldSet, desc string, condLock *types.Var, pos token.Pos)
+	// call fires at every resolved or dynamic call site.
+	call func(held heldSet, site CallSite, pos token.Pos)
+	// funcLit fires for each function literal; its body is NOT walked
+	// inline (it runs at some other time, with its own lock context) —
+	// the analyzer decides what to do with it.
+	funcLit func(lit *ast.FuncLit)
+	// goStmt fires for each goroutine spawn; the spawned call is not
+	// walked inline.
+	goStmt func(held heldSet, g *ast.GoStmt)
+}
+
+// lockFlow walks one function body in execution order, tracking held.
+type lockFlow struct {
+	facts *lockFacts
+	pkg   *Package
+	hooks flowHooks
+}
+
+// walk runs the dataflow over body with an initially empty held-set and
+// returns the held-set at fall-through exit.
+func (w *lockFlow) walk(body *ast.BlockStmt) heldSet {
+	held, _ := w.stmts(body.List, heldSet{})
+	return held
+}
+
+// stmts folds the walker over a statement list. terminated reports that
+// every path through the list returns, so the fall-through held-set is
+// meaningless to merge.
+func (w *lockFlow) stmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	terminated := false
+	for _, s := range list {
+		held, terminated = w.stmt(s, held)
+		if terminated {
+			break
+		}
+	}
+	return held, terminated
+}
+
+func (w *lockFlow) stmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto end this path as far as the linear walk is
+		// concerned; the loop-level merge keeps the approximation sound
+		// enough for ordering facts.
+		return held, true
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// body, which is exactly how the walker models "held until
+		// return" — so a deferred release needs no state change. Other
+		// deferred calls run after the body; walk them with the current
+		// held-set as an approximation of "whatever is still held".
+		if kind, _, _ := w.facts.classifyLockCall(w.pkg, s.Call); kind == opRelease {
+			return held, false
+		}
+		w.expr(s.Call, held)
+		return held, false
+	case *ast.GoStmt:
+		if w.hooks.goStmt != nil {
+			w.hooks.goStmt(held, s)
+		}
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		return held, false
+	case *ast.IfStmt:
+		held, _ = w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		thenHeld, thenTerm := w.stmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = w.stmt(s.Else, held.clone())
+		}
+		return mergeBranches(thenHeld, thenTerm, elseHeld, elseTerm, held)
+	case *ast.ForStmt:
+		held, _ = w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		bodyHeld, _ := w.stmts(s.Body.List, held.clone())
+		w.stmt(s.Post, bodyHeld)
+		return union(held, bodyHeld), false
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		if _, isChan := w.pkg.Info.TypeOf(s.X).Underlying().(*types.Chan); isChan {
+			w.block(held, "channel receive (range)", nil, s.Pos())
+		}
+		bodyHeld, _ := w.stmts(s.Body.List, held.clone())
+		return union(held, bodyHeld), false
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+		w.block(held, "channel send", nil, s.Pos())
+		return held, false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.block(held, "select with no default case", nil, s.Pos())
+		}
+		// The select itself is the blocking point; walk each clause body
+		// from the common held-set, without re-reporting the comm ops.
+		var outs []heldSet
+		allTerm := true
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			ch := held.clone()
+			if asg, ok := cc.Comm.(*ast.AssignStmt); ok {
+				for _, e := range asg.Rhs {
+					w.commExpr(e, ch)
+				}
+			}
+			ch, term := w.stmts(cc.Body, ch)
+			if !term {
+				outs = append(outs, ch)
+				allTerm = false
+			}
+		}
+		merged := held
+		for _, o := range outs {
+			merged = union(merged, o)
+		}
+		return merged, allTerm && len(s.Body.List) > 0
+	case *ast.SwitchStmt:
+		held, _ = w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		return w.caseBodies(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held, _ = w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		return w.caseBodies(s.Body, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	default:
+		return held, false
+	}
+}
+
+// caseBodies merges the arms of a switch.
+func (w *lockFlow) caseBodies(body *ast.BlockStmt, held heldSet) (heldSet, bool) {
+	merged := held
+	sawCase := false
+	allTerm := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		sawCase = true
+		for _, e := range cc.List {
+			w.expr(e, held)
+		}
+		out, term := w.stmts(cc.Body, held.clone())
+		if !term {
+			merged = union(merged, out)
+			allTerm = false
+		}
+	}
+	return merged, sawCase && allTerm && hasDefaultCase(body)
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeBranches(aHeld heldSet, aTerm bool, bHeld heldSet, bTerm bool, fallback heldSet) (heldSet, bool) {
+	switch {
+	case aTerm && bTerm:
+		return fallback, true
+	case aTerm:
+		return bHeld, false
+	case bTerm:
+		return aHeld, false
+	default:
+		return union(aHeld, bHeld), false
+	}
+}
+
+func union(a, b heldSet) heldSet {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// commExpr walks a select clause's communication expression without
+// reporting its channel op (the select was already reported).
+func (w *lockFlow) commExpr(e ast.Expr, held heldSet) {
+	if un, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+		w.expr(un.X, held)
+		return
+	}
+	w.expr(e, held)
+}
+
+// block routes one blocking event through the hook.
+func (w *lockFlow) block(held heldSet, desc string, condLock *types.Var, pos token.Pos) {
+	if w.hooks.blocking != nil {
+		w.hooks.blocking(held, desc, condLock, pos)
+	}
+}
+
+// expr walks one expression in evaluation order, firing hooks for lock
+// operations, channel receives, calls, and function literals. Function
+// literal bodies are not descended into: they execute elsewhere.
+func (w *lockFlow) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if w.hooks.funcLit != nil {
+				w.hooks.funcLit(n)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.block(held, "channel receive", nil, n.Pos())
+			}
+		case *ast.CallExpr:
+			w.call(n, held)
+			// The call's arguments were classified by w.call; don't
+			// double-visit the Fun selector, but do visit arguments.
+			for _, arg := range n.Args {
+				w.expr(arg, held)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// call classifies one call site, updates held for lock operations, and
+// fires the analyzer hooks.
+func (w *lockFlow) call(call *ast.CallExpr, held heldSet) {
+	kind, lock, desc := w.facts.classifyLockCall(w.pkg, call)
+	switch kind {
+	case opAcquire:
+		if lock != nil {
+			if w.hooks.acquire != nil {
+				w.hooks.acquire(held, lock, call.Pos())
+			}
+			held[lock] = true
+		}
+		return
+	case opRelease:
+		if lock != nil {
+			delete(held, lock)
+		}
+		return
+	case opCondWait:
+		w.block(held, "sync.Cond.Wait", lock, call.Pos())
+		return
+	case opBlocking:
+		w.block(held, desc, nil, call.Pos())
+		return
+	}
+	if w.hooks.call != nil {
+		w.hooks.call(held, w.facts.mod.resolveCall(w.pkg, call), call.Pos())
+	}
+}

@@ -28,11 +28,14 @@ const (
 // Determinism forbids the nondeterminism sources that would silently
 // break replay identity in the cycle-rate packages: map range iteration
 // (unless the body only collects keys for sorting), wall-clock reads
-// (time.Now/Since/Until), the global math/rand state, and goroutine
-// spawns anywhere but sim.ParallelFor.
+// (time.Now/Since/Until) and wall-clock scheduling (time.Sleep/After
+// and the ticker/timer constructors), environment reads
+// (os.Getenv/LookupEnv/Environ), host-CPU-count dependence
+// (runtime.NumCPU/GOMAXPROCS), the global math/rand state, and
+// goroutine spawns anywhere but sim.ParallelFor.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "forbid map iteration, wall clocks, global rand, and stray goroutines in the deterministic core packages",
+	Doc:  "forbid map iteration, wall clocks, sleeps, environment reads, CPU-count branching, global rand, and stray goroutines in the deterministic core packages",
 	Run:  runDeterminism,
 }
 
@@ -80,6 +83,18 @@ func checkDeterminismUse(pass *Pass, info *types.Info, id *ast.Ident) {
 		switch fn.Name() {
 		case "Now", "Since", "Until":
 			pass.Reportf(id.Pos(), "time.%s reads the wall clock; cycle-rate code must be clock-free", fn.Name())
+		case "Sleep", "After", "Tick", "NewTicker", "NewTimer":
+			pass.Reportf(id.Pos(), "time.%s couples simulated cycles to wall-clock scheduling; replays would diverge by host load", fn.Name())
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			pass.Reportf(id.Pos(), "os.%s makes behavior depend on the host environment; thread configuration through Options instead", fn.Name())
+		}
+	case "runtime":
+		switch fn.Name() {
+		case "NumCPU", "GOMAXPROCS":
+			pass.Reportf(id.Pos(), "runtime.%s makes results depend on the host CPU count; replays must be machine-independent", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":
 		sig, _ := fn.Type().(*types.Signature)

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// ignoreSeeds are the parser's grammar corners: every shape the fuzzer
+// starts from and the plain test locks down.
+var ignoreSeeds = []string{
+	"//sparcs:ignore hotpath reason here",
+	"//sparcs:ignore hotpath,determinism two analyzers",
+	"//sparcs:ignore hotpath reason // want `nested comment`",
+	"//sparcs:ignore",
+	"//sparcs:ignore hotpath",
+	"//sparcs:ignore unknown-analyzer some reason",
+	"//sparcs:ignorebogus glued suffix",
+	"//sparcs:ignore\thotpath\ttab separated",
+	"//sparcs:ignore  hotpath   extra   spaces",
+	"//sparcs:ignore , empty analyzer list",
+	"//sparcs:ignore hotpath, trailing comma reason",
+	"// sparcs:ignore hotpath leading space is not the marker",
+	"//sparcs:ignore sparcsvet driver pseudo-analyzer",
+	"//sparcs:ignore hotpath \x00 control bytes",
+	"//sparcs:ignore hotpath 🎛 multibyte reason",
+}
+
+// ignorePackage builds a one-file package whose only comment is text,
+// or nil when text does not survive as a comment (embedded newlines,
+// carriage returns, or anything the parser rejects).
+func ignorePackage(text string) *Package {
+	fset := token.NewFileSet()
+	src := "package fz\n\nvar x int " + text + "\n"
+	file, err := parser.ParseFile(fset, "fz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil || file == nil {
+		return nil
+	}
+	return &Package{
+		Path:  "fz",
+		Files: []*ast.File{file},
+		Src:   map[string][]byte{"fz.go": []byte(src)},
+		fset:  fset,
+	}
+}
+
+// FuzzParseIgnores asserts the //sparcs:ignore parser's safety
+// properties on arbitrary comment text: it never panics, every comment
+// carrying the marker yields exactly one parsed entry, and that entry
+// is either well-formed (analyzers plus a reason) or explicitly
+// malformed — malformed input is always reported, never dropped.
+func FuzzParseIgnores(f *testing.F) {
+	for _, s := range ignoreSeeds {
+		f.Add(s)
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known[Driver] = true
+	f.Fuzz(func(t *testing.T, text string) {
+		p := ignorePackage(text)
+		if p == nil {
+			return
+		}
+		igs := parseIgnores(p, known)
+		markers := 0
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), ignoreMarker) {
+						markers++
+					}
+				}
+			}
+		}
+		if len(igs) != markers {
+			t.Fatalf("parseIgnores(%q): %d entries for %d marker comments; malformed input must still be reported", text, len(igs), markers)
+		}
+		for _, ig := range igs {
+			if ig.malformed != "" {
+				continue
+			}
+			if len(ig.analyzers) == 0 || ig.reason == "" {
+				t.Fatalf("parseIgnores(%q): entry neither malformed nor complete: analyzers=%q reason=%q", text, ig.analyzers, ig.reason)
+			}
+			for _, name := range ig.analyzers {
+				if !known[name] {
+					t.Fatalf("parseIgnores(%q): unknown analyzer %q accepted as well-formed", text, name)
+				}
+			}
+		}
+	})
+}
+
+// TestParseIgnoresSeeds runs every fuzz seed through the same
+// properties, so the corpus is exercised on plain `go test` runs where
+// the fuzz engine is not invoked.
+func TestParseIgnoresSeeds(t *testing.T) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	known[Driver] = true
+	for _, s := range ignoreSeeds {
+		p := ignorePackage(s)
+		if p == nil {
+			continue
+		}
+		igs := parseIgnores(p, known)
+		for _, ig := range igs {
+			if ig.malformed == "" && (len(ig.analyzers) == 0 || ig.reason == "") {
+				t.Errorf("seed %q: entry neither malformed nor complete", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// goroleakPkgs are the packages whose goroutines face untrusted,
+// cancellable clients: every spawn must have a provable exit.
+var goroleakPkgs = map[string]bool{
+	"sparcs/internal/service": true,
+}
+
+// Goroleak enforces the service layer's goroutine hygiene:
+//
+//   - every goroutine spawned in internal/service must either select on
+//     ctx.Done() (a cancellation escape) or restrict its potentially
+//     blocking operations to sends on provably buffered channels — a
+//     goroutine that can block forever on a condition its spawner no
+//     longer waits for is a leak per request;
+//   - an admission-style slot acquire (a module-local method `acquire`
+//     whose receiver also has `release`) must be paired with a deferred
+//     release in the same function, so every early return path gives
+//     the slot back.
+//
+// Blocking behavior is judged transitively through the call-graph
+// summaries shared with lockorder, so a goroutine that blocks three
+// calls deep is still caught.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "service goroutines must select on ctx.Done() or block only on buffered channel sends; slot acquires need a deferred release",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *Pass) error {
+	if !goroleakPkgs[pass.Package.Path] {
+		return nil
+	}
+	rep := pass.Module.lockAnalysis()
+	p := pass.Package
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bounded := boundedChans(p, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					checkGoStmt(pass, rep, p, g, bounded)
+				}
+				return true
+			})
+			checkAcquireRelease(pass, rep, p, fd)
+		}
+	}
+	return nil
+}
+
+// checkGoStmt verifies one goroutine spawn has a provable exit.
+func checkGoStmt(pass *Pass, rep *lockReport, p *Package, g *ast.GoStmt, bounded map[*types.Var]bool) {
+	var blocks []goBlock
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if hasCtxDone(p, fun.Body) {
+			return
+		}
+		blocks = goroutineBlocks(rep, p, fun.Body, bounded)
+	default:
+		site := pass.Module.resolveCall(p, g.Call)
+		if site.Kind == CallDynamic {
+			pass.Reportf(g.Pos(), "goroutine runs a dynamic function value; its exit cannot be proven — spawn a named function or a literal that selects on ctx.Done()")
+			return
+		}
+		for _, callee := range site.Callees {
+			cp, decl := pass.Module.Decl(callee)
+			if decl == nil || decl.Body == nil {
+				continue
+			}
+			if hasCtxDone(cp, decl.Body) {
+				continue
+			}
+			// The callee runs in a fresh function scope: channels made by
+			// the SPAWNER are arguments here, and boundedness of its own
+			// channels is judged in its own body.
+			blocks = append(blocks, goroutineBlocks(rep, cp, decl.Body, boundedChans(cp, decl.Body))...)
+		}
+	}
+	if len(blocks) == 0 {
+		return
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		if blocks[i].pos != blocks[j].pos {
+			return blocks[i].pos < blocks[j].pos
+		}
+		return blocks[i].desc < blocks[j].desc
+	})
+	pass.Reportf(g.Pos(), "goroutine may leak: it can block forever (%s) and neither selects on ctx.Done() nor limits blocking to buffered-channel sends", blocks[0].desc)
+}
+
+// A goBlock is one unbounded blocking operation in a goroutine body.
+type goBlock struct {
+	desc string
+	pos  token.Pos
+}
+
+// goroutineBlocks collects the potentially forever-blocking operations
+// in body that the bounded-channel allowance does not cover. Nested
+// function literals and goroutines are excluded: nested spawns are
+// checked at their own go statements.
+func goroutineBlocks(rep *lockReport, p *Package, body ast.Node, bounded map[*types.Var]bool) []goBlock {
+	var out []goBlock
+	add := func(desc string, pos token.Pos) { out = append(out, goBlock{desc, pos}) }
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					scan(arg)
+				}
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					add("select with no default case", n.Pos())
+				}
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							scan(st)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				if v := rep.facts.refVar(p, n.Chan); v == nil || !bounded[v] {
+					add("channel send on an unbuffered or unresolved channel", n.Pos())
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					add("channel receive", n.Pos())
+				}
+			case *ast.RangeStmt:
+				if _, isChan := p.Info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+					add("channel receive (range)", n.Pos())
+				}
+			case *ast.CallExpr:
+				kind, _, desc := rep.facts.classifyLockCall(p, n)
+				switch kind {
+				case opCondWait:
+					add("sync.Cond.Wait", n.Pos())
+					return true
+				case opBlocking:
+					add(desc, n.Pos())
+					return true
+				case opAcquire, opRelease:
+					return true
+				}
+				site := rep.facts.mod.resolveCall(p, n)
+				for _, callee := range site.Callees {
+					if cs := rep.sums[callee]; cs != nil {
+						for _, desc := range sortedKeys(cs.blocking) {
+							add("call to "+funcDisplay(callee)+": "+desc, n.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+	return out
+}
+
+// hasCtxDone reports whether body receives from a context's Done
+// channel anywhere — the cancellation escape hatch.
+func hasCtxDone(p *Package, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if named, ok := p.Info.TypeOf(sel.X).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// boundedChans maps channel variables in body to "provably buffered":
+// assigned from make(chan T, n) with a constant n > 0. The allowance is
+// deliberately narrow — one make, constant capacity — matching the
+// result-handoff idiom `ch := make(chan T, 1); go func() { ch <- v }()`.
+func boundedChans(p *Package, body ast.Node) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := p.Info.Defs[id].(*types.Var)
+		if !ok {
+			if v, ok = p.Info.Uses[id].(*types.Var); !ok {
+				return
+			}
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return
+		}
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok {
+			return
+		} else if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		if _, isChan := p.Info.TypeOf(call).Underlying().(*types.Chan); !isChan {
+			return
+		}
+		tv := p.Info.Types[call.Args[1]]
+		if tv.Value != nil && constant.Sign(tv.Value) > 0 {
+			out[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+						for i := range vs.Names {
+							record(vs.Names[i], vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAcquireRelease enforces deferred slot release: a call to a
+// module-local method named acquire, on a receiver type that also has a
+// release method, must be paired with `defer <same object>.release()`
+// in the same enclosing function.
+func checkAcquireRelease(pass *Pass, rep *lockReport, p *Package, fd *ast.FuncDecl) {
+	var acquires []*ast.CallExpr
+	deferred := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(n.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "release" {
+				if v := rep.facts.refVar(p, sel.X); v != nil {
+					deferred[v] = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "acquire" {
+				if isSlotAcquire(pass, p, sel) && !sameReceiverType(pass, p, fd, sel) {
+					acquires = append(acquires, n)
+				}
+			}
+		}
+		return true
+	})
+	for _, call := range acquires {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		v := rep.facts.refVar(p, sel.X)
+		if v == nil || !deferred[v] {
+			pass.Reportf(call.Pos(), "slot acquired without a deferred release on the same object; an early return path leaks the slot")
+		}
+	}
+}
+
+// isSlotAcquire reports whether sel names a module-local acquire method
+// whose receiver type also has a release method.
+func isSlotAcquire(pass *Pass, p *Package, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if _, decl := pass.Module.Decl(fn); decl == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	ms := types.NewMethodSet(types.NewPointer(recv))
+	return ms.Lookup(fn.Pkg(), "release") != nil
+}
+
+// sameReceiverType exempts the slot type's own methods: admission's
+// acquire legitimately calls release on explicit paths.
+func sameReceiverType(pass *Pass, p *Package, fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return ownerTypeName(p.Info.TypeOf(fd.Recv.List[0].Type)) == ownerTypeName(sig.Recv().Type())
+}

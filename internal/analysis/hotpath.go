@@ -8,15 +8,20 @@ import (
 
 // Hotpath enforces that //sparcs:hotpath code is allocation-free. A
 // marked function declaration (or for/range statement), plus every
-// module-local function it statically calls, must not contain:
-// growing append, make, new, escaping composite literals, fmt calls,
-// map writes, allocating string conversions, string concatenation, or
-// interface boxing. Dynamic calls (interface methods, function values)
-// are not followed — keep cycle-rate dispatch static or devirtualized
-// behind a checked entry point, as arbiter.AsBitStepper does.
+// module-local function it can reach through the call graph, must not
+// contain: growing append, make, new, escaping composite literals, fmt
+// calls, map writes, allocating string conversions, string
+// concatenation, or interface boxing. The walk is interprocedural and
+// devirtualizing: a call through a module-local interface
+// (arbiter.BitStepper, workload.BitGenerator, ...) fans out to every
+// implementation's method body, so allocation hiding behind dynamic
+// dispatch is caught instead of silently skipped. Calls through plain
+// function values cannot be resolved and are reported as unprovable —
+// keep cycle-rate dispatch static, or devirtualized behind a checked
+// entry point as arbiter.AsBitStepper does.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "report allocating constructs in //sparcs:hotpath code and the module-local functions it statically calls",
+	Doc:  "report allocating constructs in //sparcs:hotpath code and everything it can reach through the module call graph, interface dispatch included",
 	Run:  runHotpath,
 }
 
@@ -151,29 +156,36 @@ func (w *hotWalker) checkCall(pkg *Package, call *ast.CallExpr) {
 		}
 	}
 
-	fn := staticCallee(info, call)
-	if fn == nil {
-		// Dynamic dispatch: not followed, and the call itself is fine
-		// (interface method tables are static); argument boxing below
-		// still catches interface-taking signatures via info.
+	site := w.pass.Module.resolveCall(pkg, call)
+	switch site.Kind {
+	case CallDynamic:
+		// A function value could run anything; without a callee set the
+		// region cannot be proven allocation-free.
+		w.pass.Reportf(call.Pos(), "dynamic call through a function value cannot be proven allocation-free in a hot path")
 		w.checkArgBoxing(pkg, call)
 		return
-	}
-	if p := fn.Pkg(); p != nil {
-		switch p.Path() {
-		case "fmt":
-			w.pass.Reportf(call.Pos(), "fmt.%s allocates in a hot path", fn.Name())
-			return
-		case "log":
-			w.pass.Reportf(call.Pos(), "log.%s allocates in a hot path", fn.Name())
-			return
+	case CallStatic:
+		fn := site.Callees[0]
+		if p := fn.Pkg(); p != nil {
+			switch p.Path() {
+			case "fmt":
+				w.pass.Reportf(call.Pos(), "fmt.%s allocates in a hot path", fn.Name())
+				return
+			case "log":
+				w.pass.Reportf(call.Pos(), "log.%s allocates in a hot path", fn.Name())
+				return
+			}
 		}
 	}
 	w.checkArgBoxing(pkg, call)
 
-	// Follow static calls into module-local code.
-	if calleePkg, decl := w.pass.Module.Decl(fn); decl != nil {
-		w.walkFunc(calleePkg, fn, decl)
+	// Follow every possible callee into module-local code: the one
+	// static target, or all devirtualized implementations of an
+	// interface method.
+	for _, fn := range site.Callees {
+		if calleePkg, decl := w.pass.Module.Decl(fn); decl != nil {
+			w.walkFunc(calleePkg, fn, decl)
+		}
 	}
 }
 

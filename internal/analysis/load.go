@@ -8,6 +8,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"io"
@@ -133,8 +134,10 @@ func LoadTree(srcdir string, paths ...string) (*Module, error) {
 		fset := token.NewFileSet()
 		for _, f := range rp.goFiles {
 			parsed, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
+			if err != nil || parsed == nil {
+				// A file that does not parse is recorded by the full load;
+				// dependency discovery just does without its imports.
+				continue
 			}
 			for _, imp := range parsed.Imports {
 				ip, err := strconv.Unquote(imp.Path.Value)
@@ -189,16 +192,25 @@ type importerFunc func(path string) (*types.Package, error)
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // check parses and type-checks every raw package in dependency order,
-// sharing one FileSet, and assembles the Module.
+// sharing one FileSet, and assembles the Module. Parse and type-check
+// failures do NOT abort the load: the broken package is kept (flagged
+// Broken, excluded from analysis) and its failure lands in
+// Module.Errors, so a package that stops compiling fails the sparcsvet
+// run loudly instead of silently dropping out of the analyzed set.
 func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*Module, error) {
 	fset := token.NewFileSet()
 	m := &Module{Path: modPath, Fset: fset, Pkgs: map[string]*Package{}}
 
+	loadErr := func(pos token.Pos, format string, args ...any) {
+		m.Errors = append(m.Errors, Diagnostic{Pos: pos, Analyzer: Driver, Message: fmt.Sprintf(format, args...)})
+	}
+
 	// Parse everything first so the import graph is known.
 	type parsed struct {
 		*rawPkg
-		files []*ast.File
-		src   map[string][]byte
+		files  []*ast.File
+		src    map[string][]byte
+		broken bool
 	}
 	pp := map[string]*parsed{}
 	for path, rp := range raw {
@@ -210,10 +222,15 @@ func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*
 			}
 			file, err := parser.ParseFile(fset, f, data, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
-				return nil, err
+				p.broken = true
+				for _, pe := range parseErrors(fset, err) {
+					m.Errors = append(m.Errors, pe)
+				}
 			}
-			p.files = append(p.files, file)
-			p.src[f] = data
+			if file != nil {
+				p.files = append(p.files, file)
+				p.src[f] = data
+			}
 		}
 		pp[path] = p
 	}
@@ -240,6 +257,9 @@ func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*
 	checking := map[string]bool{}
 	ensure = func(path string) (*types.Package, error) {
 		if done, ok := m.Pkgs[path]; ok {
+			if done.Broken {
+				return nil, fmt.Errorf("package %s is broken", path)
+			}
 			return done.Pkg, nil
 		}
 		if checking[path] {
@@ -249,12 +269,42 @@ func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*
 		defer delete(checking, path)
 		p := pp[path]
 
+		// keep registers the (possibly broken) package so the parsed
+		// source stays reachable for comment-level processing.
+		keep := func(tpkg *types.Package, info *types.Info, broken bool) *Package {
+			pkg := &Package{
+				Path:   path,
+				Dir:    p.dir,
+				Root:   p.root,
+				Broken: broken,
+				Files:  p.files,
+				Pkg:    tpkg,
+				Info:   info,
+				Src:    p.src,
+				Funcs:  map[*types.Func]*ast.FuncDecl{},
+				fset:   fset,
+			}
+			if !broken {
+				indexFuncs(pkg)
+			}
+			m.Pkgs[path] = pkg
+			return pkg
+		}
+
+		if p.broken { // parse failure already recorded
+			keep(nil, nil, true)
+			return nil, fmt.Errorf("package %s failed to parse", path)
+		}
+
 		// Check local imports first for deterministic error attribution.
-		deps := map[string]bool{}
+		// A broken dependency breaks this package too, with one pointed
+		// diagnostic at the import site rather than a cascade of
+		// resolution errors.
+		deps := map[string][]token.Pos{}
 		for _, f := range p.files {
 			for _, imp := range f.Imports {
 				if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
-					deps[ip] = true
+					deps[ip] = append(deps[ip], imp.Pos())
 				}
 			}
 		}
@@ -267,36 +317,35 @@ func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*
 		sort.Strings(order)
 		for _, d := range order {
 			if _, err := ensure(d); err != nil {
-				return nil, err
+				loadErr(deps[d][0], "package %s not analyzed: it imports broken package %s", path, d)
+				keep(nil, nil, true)
+				return nil, fmt.Errorf("package %s depends on broken package %s", path, d)
 			}
 		}
 
 		info := typesInfo()
-		var typeErrs []error
+		var typeErrs []types.Error
 		conf := types.Config{
 			Importer: resolve,
-			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+			Error: func(err error) {
+				var te types.Error
+				if errors.As(err, &te) {
+					typeErrs = append(typeErrs, te)
+				}
+			},
 		}
 		tpkg, err := conf.Check(path, fset, p.files, info)
-		if len(typeErrs) > 0 {
-			return nil, fmt.Errorf("type-checking %s: %w", path, typeErrs[0])
+		if len(typeErrs) > 0 || err != nil {
+			if len(typeErrs) == 0 {
+				loadErr(token.NoPos, "type-checking %s: %v", path, err)
+			}
+			for _, te := range typeErrs {
+				loadErr(te.Pos, "package %s does not type-check: %s", path, te.Msg)
+			}
+			keep(tpkg, info, true)
+			return nil, fmt.Errorf("type-checking %s failed", path)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %w", path, err)
-		}
-		pkg := &Package{
-			Path:  path,
-			Dir:   p.dir,
-			Root:  p.root,
-			Files: p.files,
-			Pkg:   tpkg,
-			Info:  info,
-			Src:   p.src,
-			Funcs: map[*types.Func]*ast.FuncDecl{},
-			fset:  fset,
-		}
-		indexFuncs(pkg)
-		m.Pkgs[path] = pkg
+		keep(tpkg, info, false)
 		return tpkg, nil
 	}
 
@@ -306,11 +355,45 @@ func check(modPath string, raw map[string]*rawPkg, exports map[string]string) (*
 	}
 	sort.Strings(order)
 	for _, path := range order {
-		if _, err := ensure(path); err != nil {
-			return nil, err
-		}
+		// Failures are already recorded in m.Errors; later packages
+		// still load and analyze.
+		_, _ = ensure(path)
 	}
+	sortDiagnostics(fset, m.Errors)
 	return m, nil
+}
+
+// parseErrors converts a parser failure into position-carrying driver
+// diagnostics (one per scanner error, or a single package-level one for
+// failures without positions).
+func parseErrors(fset *token.FileSet, err error) []Diagnostic {
+	var list scanner.ErrorList
+	if errors.As(err, &list) && len(list) > 0 {
+		out := make([]Diagnostic, 0, len(list))
+		for _, e := range list {
+			out = append(out, Diagnostic{Pos: posAt(fset, e.Pos), Analyzer: Driver, Message: "parse error: " + e.Msg})
+		}
+		return out
+	}
+	return []Diagnostic{{Pos: token.NoPos, Analyzer: Driver, Message: "parse error: " + err.Error()}}
+}
+
+// posAt maps a resolved Position back to a token.Pos in fset (the
+// scanner reports Positions; Diagnostic carries Pos).
+func posAt(fset *token.FileSet, pos token.Position) token.Pos {
+	var found token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() != pos.Filename {
+			return true
+		}
+		off := pos.Offset
+		if off > f.Size() {
+			off = f.Size()
+		}
+		found = f.Pos(off)
+		return false
+	})
+	return found
 }
 
 // indexFuncs fills pkg.Funcs with every declared function and method.

@@ -1,0 +1,421 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder proves the module's locking discipline deadlock-free, the
+// static mirror of the runtime acquisition-order checker in
+// core.CheckProtocols. It runs the lock dataflow over every function
+// and function literal in the module, building the global acquisition
+// graph: an edge A -> B for every program point that takes B while
+// holding A, with interprocedural edges contributed through call-graph
+// summaries (a call made under a lock inherits every lock its callee
+// set can transitively acquire). It reports:
+//
+//   - acquisition-order cycles: two sites whose combined edges form a
+//     cycle in the global graph — the classic hold-and-wait inversion;
+//   - self-deadlocks: re-acquiring a held, non-reentrant lock, directly
+//     or through a call;
+//   - blocking under a lock: channel sends/receives, defaultless
+//     selects, WaitGroup.Wait, time.Sleep, or calls that can
+//     transitively block, reached while a lock is held.
+//     sync.Cond.Wait is exempt for the one lock its Cond wraps (Wait
+//     releases it while sleeping) but flagged for any other held lock;
+//   - dynamic calls under a lock: a function value invoked while
+//     holding a lock has no callee set, so the hold-and-wait graph
+//     cannot be proven acyclic through it.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "build the module-wide lock acquisition graph and report ordering cycles, self-deadlocks, and blocking operations reached while a lock is held",
+	Run:  runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	for _, d := range pass.Module.lockAnalysis().byPkg[pass.Package.Path] {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+	return nil
+}
+
+// lockReport is the module-wide result of the lock dataflow, computed
+// once and cached: lockorder findings keyed by package path, plus the
+// per-function blocking/acquisition summaries goroleak reuses.
+type lockReport struct {
+	byPkg map[string][]lockDiag
+	sums  map[*types.Func]*lockSummary
+	facts *lockFacts
+}
+
+type lockDiag struct {
+	pos token.Pos
+	msg string
+}
+
+// A lockSummary is the transitive effect of calling one function: every
+// lock it may acquire and every way it may block, each with the witness
+// position of the original operation.
+type lockSummary struct {
+	acquires map[*types.Var]token.Pos
+	blocking map[string]token.Pos
+	// goCalls marks call expressions that are `go` statements: the spawn
+	// returns immediately, so callee effects must not propagate to the
+	// spawning function.
+	goCalls map[*ast.CallExpr]bool
+}
+
+// lockAnalysis computes (once) the module's lock report.
+func (m *Module) lockAnalysis() *lockReport {
+	if m.locks != nil {
+		return m.locks
+	}
+	rep := &lockReport{
+		byPkg: map[string][]lockDiag{},
+		sums:  map[*types.Func]*lockSummary{},
+		facts: newLockFacts(m),
+	}
+	m.locks = rep
+
+	cg := m.CallGraph()
+	nodes := cg.Functions()
+
+	// Phase 1: intraprocedural summaries, then a fixed point over the
+	// call graph. Monotone over two finite sets, so it terminates.
+	for _, n := range nodes {
+		rep.sums[n.Fn] = intraSummary(rep.facts, n.Pkg, n.Decl.Body)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			s := rep.sums[n.Fn]
+			for _, site := range n.Sites {
+				if s.goCalls[site.Call] {
+					continue
+				}
+				for _, callee := range site.Callees {
+					if cs := rep.sums[callee]; cs != nil && s.absorb(cs) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: flow walk every function body (and, transitively, every
+	// function literal, each with an empty entry held-set — a literal
+	// runs in whatever goroutine invokes it, not at its creation site),
+	// collecting acquisition edges and held-context findings.
+	var edges []lockEdge
+	seenLit := map[*ast.FuncLit]bool{}
+	for _, n := range nodes {
+		var queue []*ast.FuncLit
+		w := rep.flowFor(n.Pkg, funcDisplay(n.Fn), &edges, func(lit *ast.FuncLit) {
+			if !seenLit[lit] {
+				seenLit[lit] = true
+				queue = append(queue, lit)
+			}
+		})
+		w.walk(n.Decl.Body)
+		for len(queue) > 0 {
+			lit := queue[0]
+			queue = queue[1:]
+			w.walk(lit.Body)
+		}
+	}
+
+	rep.reportCycles(m, edges)
+	return rep
+}
+
+// absorb merges a callee summary into s, reporting whether s grew.
+func (s *lockSummary) absorb(callee *lockSummary) bool {
+	grew := false
+	for lk, pos := range callee.acquires {
+		if _, ok := s.acquires[lk]; !ok {
+			s.acquires[lk] = pos
+			grew = true
+		}
+	}
+	for desc, pos := range callee.blocking {
+		if _, ok := s.blocking[desc]; !ok {
+			s.blocking[desc] = pos
+			grew = true
+		}
+	}
+	return grew
+}
+
+// intraSummary scans one body for its direct lock acquisitions and
+// blocking operations. Function literal bodies are excluded — they
+// execute elsewhere and are summarized through their own flow walk —
+// and so are the communication clauses of a select that has a default
+// case (a non-blocking poll).
+func intraSummary(lf *lockFacts, p *Package, body ast.Node) *lockSummary {
+	s := &lockSummary{
+		acquires: map[*types.Var]token.Pos{},
+		blocking: map[string]token.Pos{},
+		goCalls:  map[*ast.CallExpr]bool{},
+	}
+	record := func(desc string, pos token.Pos) {
+		if _, ok := s.blocking[desc]; !ok {
+			s.blocking[desc] = pos
+		}
+	}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				s.goCalls[n.Call] = true
+				for _, arg := range n.Call.Args {
+					scan(arg)
+				}
+				return false
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					record("select with no default case", n.Pos())
+				}
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							scan(st)
+						}
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				record("channel send", n.Pos())
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					record("channel receive", n.Pos())
+				}
+			case *ast.RangeStmt:
+				if _, isChan := p.Info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+					record("channel receive (range)", n.Pos())
+				}
+			case *ast.CallExpr:
+				kind, lock, desc := lf.classifyLockCall(p, n)
+				switch kind {
+				case opAcquire:
+					if lock != nil {
+						if _, ok := s.acquires[lock]; !ok {
+							s.acquires[lock] = n.Pos()
+						}
+					}
+				case opCondWait:
+					record("sync.Cond.Wait", n.Pos())
+				case opBlocking:
+					record(desc, n.Pos())
+				}
+			}
+			return true
+		})
+	}
+	scan(body)
+	return s
+}
+
+// A lockEdge records one witness of "to acquired while from was held".
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+	pkg      string
+	via      string // callee name for interprocedural edges, "" for direct
+}
+
+// flowFor builds the lockFlow whose hooks feed rep for one function.
+func (rep *lockReport) flowFor(p *Package, fnName string, edges *[]lockEdge, onLit func(*ast.FuncLit)) *lockFlow {
+	lf := rep.facts
+	report := func(pos token.Pos, format string, args ...any) {
+		rep.byPkg[p.Path] = append(rep.byPkg[p.Path], lockDiag{pos, fmt.Sprintf(format, args...)})
+	}
+	heldNames := func(held heldSet) string {
+		var names []string
+		for _, v := range lf.sorted(held) {
+			names = append(names, lf.name(v))
+		}
+		return strings.Join(names, ", ")
+	}
+	return &lockFlow{
+		facts: lf,
+		pkg:   p,
+		hooks: flowHooks{
+			acquire: func(held heldSet, lock *types.Var, pos token.Pos) {
+				if held[lock] {
+					report(pos, "%s acquired while already held: self-deadlock on a non-reentrant lock", lf.name(lock))
+					return
+				}
+				for _, h := range lf.sorted(held) {
+					*edges = append(*edges, lockEdge{from: h, to: lock, pos: pos, pkg: p.Path})
+				}
+			},
+			blocking: func(held heldSet, desc string, condLock *types.Var, pos token.Pos) {
+				if len(held) == 0 {
+					return
+				}
+				if desc == "sync.Cond.Wait" {
+					// Wait releases its own lock while sleeping; only OTHER
+					// held locks stay pinned across the sleep.
+					others := held.clone()
+					if condLock != nil {
+						delete(others, condLock)
+					}
+					if len(others) > 0 {
+						report(pos, "sync.Cond.Wait releases only its own lock; still holding %s while waiting can deadlock", heldNames(others))
+					} else if condLock == nil {
+						report(pos, "sync.Cond.Wait on a cond whose lock cannot be resolved while %s is held", heldNames(held))
+					}
+					return
+				}
+				report(pos, "potential deadlock: %s while %s is held", desc, heldNames(held))
+			},
+			call: func(held heldSet, site CallSite, pos token.Pos) {
+				if len(held) == 0 {
+					return
+				}
+				if site.Kind == CallDynamic {
+					report(pos, "dynamic call through a function value while %s is held cannot be proven deadlock-free", heldNames(held))
+					return
+				}
+				for _, callee := range site.Callees {
+					cs := rep.sums[callee]
+					if cs == nil {
+						continue
+					}
+					name := funcDisplay(callee)
+					for _, lk := range lf.sortedAcquires(cs) {
+						if held[lk] {
+							report(pos, "call to %s acquires %s, which is already held: self-deadlock on a non-reentrant lock", name, lf.name(lk))
+							continue
+						}
+						for _, h := range lf.sorted(held) {
+							*edges = append(*edges, lockEdge{from: h, to: lk, pos: pos, pkg: p.Path, via: name})
+						}
+					}
+					for _, desc := range sortedKeys(cs.blocking) {
+						report(pos, "potential deadlock: call to %s may block (%s) while %s is held", name, desc, heldNames(held))
+					}
+				}
+			},
+			funcLit: func(lit *ast.FuncLit) { onLit(lit) },
+			goStmt: func(held heldSet, g *ast.GoStmt) {
+				// The spawned goroutine starts with its own (empty) lock
+				// context; only queue its literal body for a separate walk.
+				if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+					onLit(lit)
+				}
+			},
+		},
+	}
+}
+
+// sortedAcquires orders a summary's acquired locks by display name.
+func (lf *lockFacts) sortedAcquires(s *lockSummary) []*types.Var {
+	out := make([]*types.Var, 0, len(s.acquires))
+	for v := range s.acquires {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return lf.name(out[i]) < lf.name(out[j]) })
+	return out
+}
+
+func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcDisplay renders a function for diagnostics: pkg.Name for
+// functions, pkg.Type.Name for methods.
+func funcDisplay(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := ownerTypeName(sig.Recv().Type()); tn != "" {
+			name = tn + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// reportCycles finds acquisition-order cycles in the global edge set
+// and reports every witness edge that lies on one.
+func (rep *lockReport) reportCycles(m *Module, edges []lockEdge) {
+	adj := map[*types.Var]map[*types.Var]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[*types.Var]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	next := func(v *types.Var) []*types.Var {
+		out := make([]*types.Var, 0, len(adj[v]))
+		for w := range adj[v] {
+			out = append(out, w)
+		}
+		sort.Slice(out, func(i, j int) bool { return rep.facts.name(out[i]) < rep.facts.name(out[j]) })
+		return out
+	}
+	// path finds a lock path from src to dst, depth-first over the
+	// name-sorted adjacency for determinism.
+	var path func(src, dst *types.Var, seen map[*types.Var]bool) []*types.Var
+	path = func(src, dst *types.Var, seen map[*types.Var]bool) []*types.Var {
+		if src == dst {
+			return []*types.Var{src}
+		}
+		seen[src] = true
+		for _, w := range next(src) {
+			if seen[w] {
+				continue
+			}
+			if p := path(w, dst, seen); p != nil {
+				return append([]*types.Var{src}, p...)
+			}
+		}
+		return nil
+	}
+	seenWitness := map[string]bool{}
+	for _, e := range edges {
+		back := path(e.to, e.from, map[*types.Var]bool{})
+		if back == nil {
+			continue
+		}
+		key := fmt.Sprintf("%v|%v|%v", e.pos, rep.facts.name(e.from), rep.facts.name(e.to))
+		if seenWitness[key] {
+			continue
+		}
+		seenWitness[key] = true
+		// back runs to -> ... -> from, so prefixing from yields the full
+		// cycle from the held lock's point of view.
+		names := []string{rep.facts.name(e.from)}
+		for _, v := range back {
+			names = append(names, rep.facts.name(v))
+		}
+		full := strings.Join(names, " -> ")
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (through call to %s)", e.via)
+		}
+		rep.byPkg[e.pkg] = append(rep.byPkg[e.pkg], lockDiag{e.pos,
+			fmt.Sprintf("acquiring %s while %s is held%s creates an acquisition-order cycle: %s",
+				rep.facts.name(e.to), rep.facts.name(e.from), via, full)})
+	}
+}

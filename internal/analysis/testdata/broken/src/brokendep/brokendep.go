@@ -1,0 +1,8 @@
+// Package brokendep does not type-check: the load must keep going,
+// surface the failure as a driver diagnostic, and exclude the package
+// from analysis instead of aborting the whole run.
+package brokendep
+
+func Bad() int {
+	return "not an int" // want `package brokendep does not type-check`
+}

@@ -1,0 +1,10 @@
+// Package fine is healthy and must still be analyzed even though
+// sibling packages in the same run are broken.
+package fine
+
+var sink []int
+
+//sparcs:hotpath
+func Hot(n int) {
+	sink = append(sink, n) // want `append may grow its backing array`
+}

@@ -1,0 +1,7 @@
+// Package uses imports a broken package: it gets one pointed
+// diagnostic at the import site, not a cascade of resolution errors.
+package uses
+
+import "brokendep" // want `package uses not analyzed: it imports broken package brokendep`
+
+var _ = brokendep.Bad

@@ -1,0 +1,39 @@
+// Package cg is the call-graph unit-test fixture: one function per
+// resolution class (static, devirtualized interface, dynamic, builtin).
+package cg
+
+// Stepper mirrors the shape of arbiter.BitStepper: a small interface
+// with multiple module-local implementations.
+type Stepper interface {
+	Step(n int) int
+}
+
+type Doubler struct{}
+
+func (Doubler) Step(n int) int { return 2 * n }
+
+type Tripler struct{}
+
+func (*Tripler) Step(n int) int { return 3 * n }
+
+// Run calls through the interface: the site must devirtualize to both
+// implementations.
+func Run(s Stepper, n int) int {
+	return s.Step(n)
+}
+
+// Direct calls a concrete method: exactly one static callee.
+func Direct(n int) int {
+	return Doubler{}.Step(n)
+}
+
+// Apply calls through a function value: dynamic, no callee set.
+func Apply(f func(int) int, n int) int {
+	return f(n)
+}
+
+// Mixed has a builtin call and a static call to a sibling function.
+func Mixed(n int) int {
+	xs := make([]int, 0, n)
+	return Direct(len(xs) + n)
+}

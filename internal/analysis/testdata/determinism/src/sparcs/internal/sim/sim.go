@@ -4,6 +4,8 @@ package sim
 
 import (
 	"math/rand"
+	"os"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -14,10 +16,18 @@ func Bad(m map[string]int) int {
 	for _, v := range m { // want `map range iteration order is nondeterministic`
 		total += v
 	}
-	start := time.Now()     // want `time.Now reads the wall clock`
-	_ = time.Since(start)   // want `time.Since reads the wall clock`
-	total += rand.Intn(10)  // want `global rand.Intn is shared nondeterministic state`
-	go func() { total++ }() // want `goroutine spawn outside sim.ParallelFor`
+	start := time.Now()            // want `time.Now reads the wall clock`
+	_ = time.Since(start)          // want `time.Since reads the wall clock`
+	total += rand.Intn(10)         // want `global rand.Intn is shared nondeterministic state`
+	go func() { total++ }()        // want `goroutine spawn outside sim.ParallelFor`
+	time.Sleep(time.Millisecond)   // want `time.Sleep couples simulated cycles to wall-clock scheduling`
+	if os.Getenv("SPARCS") != "" { // want `os.Getenv makes behavior depend on the host environment`
+		total++
+	}
+	if runtime.NumCPU() > 4 { // want `runtime.NumCPU makes results depend on the host CPU count`
+		total++
+	}
+	total += runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS makes results depend on the host CPU count`
 	return total
 }
 

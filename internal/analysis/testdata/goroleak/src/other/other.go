@@ -1,0 +1,9 @@
+// Package other is outside the goroleak scope: the same leaky spawn is
+// not reported here.
+package other
+
+func Spawn(ch chan int) {
+	go func() {
+		<-ch
+	}()
+}

@@ -1,0 +1,149 @@
+// Seeded violations for the goroleak analyzer: goroutines in the
+// service layer must select on ctx.Done() or block only on buffered
+// channel sends, and slot acquires must pair with deferred releases.
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// SpawnWithCtx selects on ctx.Done(): a provable exit. Clean.
+func SpawnWithCtx(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// SpawnBounded is the blessed result-handoff idiom: the only blocking
+// op is a send on a buffered channel. Clean.
+func SpawnBounded() int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// SpawnUnbuffered sends on an unbuffered channel with no ctx escape: if
+// the receiver is gone, the goroutine blocks forever.
+func SpawnUnbuffered() int {
+	ch := make(chan int)
+	go func() { // want `goroutine may leak: it can block forever \(channel send on an unbuffered or unresolved channel\)`
+		ch <- 42
+	}()
+	return <-ch
+}
+
+// SpawnReceive blocks on a receive nothing may ever send.
+func SpawnReceive(ch chan int) {
+	go func() { // want `goroutine may leak: it can block forever \(channel receive\)`
+		<-ch
+	}()
+}
+
+// SpawnWaiter parks in WaitGroup.Wait with no cancellation escape.
+func SpawnWaiter(wg *sync.WaitGroup, done chan struct{}) {
+	go func() { // want `goroutine may leak: it can block forever \(sync.WaitGroup.Wait\)`
+		wg.Wait()
+		close(done)
+	}()
+}
+
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// watch parks in cond.Wait: nothing guarantees a wakeup after the
+// spawner stops caring.
+func (p *pool) watch(done chan struct{}) {
+	go func() { // want `goroutine may leak: it can block forever \(sync.Cond.Wait\)`
+		p.mu.Lock()
+		for p.n > 0 {
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+		close(done)
+	}()
+}
+
+func pump(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// SpawnPump spawns a named function whose transitive summary blocks.
+func SpawnPump(ch chan int) {
+	go pump(ch) // want `goroutine may leak: it can block forever \(channel receive \(range\)\)`
+}
+
+func pumpCtx(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+// SpawnPumpCtx spawns a named function that selects on ctx.Done(). Clean.
+func SpawnPumpCtx(ctx context.Context, ch chan int) {
+	go pumpCtx(ctx, ch)
+}
+
+// SpawnDynamic runs a function value: no callee set, no proof.
+func SpawnDynamic(f func()) {
+	go f() // want `goroutine runs a dynamic function value; its exit cannot be proven`
+}
+
+// slots is an admission-style resource: acquire must pair with a
+// deferred release in the same function.
+type slots struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *slots) acquire(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return nil
+}
+
+func (s *slots) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n--
+}
+
+type server struct{ adm *slots }
+
+// handleGood releases on every return path via defer. Clean.
+func (s *server) handleGood(ctx context.Context) error {
+	if err := s.adm.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.adm.release()
+	return nil
+}
+
+// handleLeaky releases only on the straight-line path: a panic or an
+// early return between acquire and release leaks the slot.
+func (s *server) handleLeaky(ctx context.Context) error {
+	if err := s.adm.acquire(ctx); err != nil { // want `slot acquired without a deferred release on the same object`
+		return err
+	}
+	s.adm.release()
+	return nil
+}

@@ -92,8 +92,9 @@ func LoopOnly(n int) {
 
 type stepper interface{ Step(int) int }
 
-// Dynamic dispatch is not followed: the analyzer neither flags the
-// call nor walks into implementations.
+// An interface call is devirtualized: the walk fans out to every
+// module-local implementation, so the allocating one is caught even
+// though only dynamic dispatch reaches it.
 //
 //sparcs:hotpath
 func Dyn(s stepper, n int) int {
@@ -103,6 +104,21 @@ func Dyn(s stepper, n int) int {
 type allocStepper struct{ buf []int }
 
 func (a *allocStepper) Step(n int) int {
-	a.buf = append(a.buf, n) // unmarked and only dynamically reachable: not flagged
+	a.buf = append(a.buf, n) // want `append may grow its backing array`
 	return len(a.buf)
+}
+
+type cleanStepper struct{ last int }
+
+func (c *cleanStepper) Step(n int) int {
+	c.last = n
+	return n
+}
+
+// A call through a plain function value has no callee set: it is
+// reported as unprovable instead of silently skipped.
+//
+//sparcs:hotpath
+func DynFunc(f func(int) int, n int) int {
+	return f(n) // want `dynamic call through a function value cannot be proven allocation-free`
 }

@@ -1,0 +1,201 @@
+// Seeded violations for the lockorder analyzer: acquisition-order
+// cycles (direct and through calls), self-deadlocks, blocking while a
+// lock is held, cond.Wait semantics, and the clean patterns that must
+// stay silent.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+var (
+	A  a
+	B  b
+	ch = make(chan int)
+)
+
+// LockAB and LockBA take the two locks in opposite orders: both
+// acquisition sites lie on the cycle and both are reported.
+
+func LockAB() {
+	A.mu.Lock()
+	B.mu.Lock() // want `acquiring locks.b.mu while locks.a.mu is held creates an acquisition-order cycle: locks.a.mu -> locks.b.mu -> locks.a.mu`
+	B.mu.Unlock()
+	A.mu.Unlock()
+}
+
+func LockBA() {
+	B.mu.Lock()
+	A.mu.Lock() // want `acquiring locks.a.mu while locks.b.mu is held creates an acquisition-order cycle: locks.b.mu -> locks.a.mu -> locks.b.mu`
+	A.mu.Unlock()
+	B.mu.Unlock()
+}
+
+// Relock self-deadlocks directly.
+func Relock() {
+	A.mu.Lock()
+	A.mu.Lock() // want `locks.a.mu acquired while already held: self-deadlock on a non-reentrant lock`
+	A.mu.Unlock()
+	A.mu.Unlock()
+}
+
+func lockA() {
+	A.mu.Lock()
+	A.mu.Unlock()
+}
+
+// RelockViaCall self-deadlocks one call deep.
+func RelockViaCall() {
+	A.mu.Lock()
+	lockA() // want `call to locks.lockA acquires locks.a.mu, which is already held: self-deadlock on a non-reentrant lock`
+	A.mu.Unlock()
+}
+
+// Blocking operations while a lock is held.
+
+func SendLocked() {
+	A.mu.Lock()
+	ch <- 1 // want `potential deadlock: channel send while locks.a.mu is held`
+	A.mu.Unlock()
+}
+
+func SleepLocked() {
+	A.mu.Lock()
+	time.Sleep(time.Millisecond) // want `potential deadlock: time.Sleep while locks.a.mu is held`
+	A.mu.Unlock()
+}
+
+func SelectLocked(c1, c2 chan int) {
+	A.mu.Lock()
+	select { // want `potential deadlock: select with no default case while locks.a.mu is held`
+	case <-c1:
+	case <-c2:
+	}
+	A.mu.Unlock()
+}
+
+func blockInner() {
+	<-ch
+}
+
+// CallBlockLocked blocks one call deep: the summary carries the
+// callee's channel receive to this call site.
+func CallBlockLocked() {
+	B.mu.Lock()
+	blockInner() // want `potential deadlock: call to locks.blockInner may block \(channel receive\) while locks.b.mu is held`
+	B.mu.Unlock()
+}
+
+// DynLocked invokes a function value under a lock: no callee set, so
+// deadlock-freedom is unprovable.
+func DynLocked(f func()) {
+	B.mu.Lock()
+	f() // want `dynamic call through a function value while locks.b.mu is held cannot be proven deadlock-free`
+	B.mu.Unlock()
+}
+
+// Interprocedural ordering: DThenE contributes its edge through the
+// lockE summary, completing a cycle with EThenD.
+
+type d struct{ mu sync.Mutex }
+
+type e struct{ mu sync.Mutex }
+
+var (
+	D d
+	E e
+)
+
+func lockE() {
+	E.mu.Lock()
+	E.mu.Unlock()
+}
+
+func DThenE() {
+	D.mu.Lock()
+	lockE() // want `acquiring locks.e.mu while locks.d.mu is held \(through call to locks.lockE\) creates an acquisition-order cycle: locks.d.mu -> locks.e.mu -> locks.d.mu`
+	D.mu.Unlock()
+}
+
+func EThenD() {
+	E.mu.Lock()
+	D.mu.Lock() // want `acquiring locks.d.mu while locks.e.mu is held creates an acquisition-order cycle: locks.e.mu -> locks.d.mu -> locks.e.mu`
+	D.mu.Unlock()
+	E.mu.Unlock()
+}
+
+// Cond.Wait releases its own lock: clean with only that lock held,
+// flagged when another lock stays pinned across the sleep.
+
+type q struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newQ() *q {
+	x := &q{}
+	x.cond = sync.NewCond(&x.mu)
+	return x
+}
+
+func (x *q) waitOK() {
+	x.mu.Lock()
+	for x.n == 0 {
+		x.cond.Wait()
+	}
+	x.mu.Unlock()
+}
+
+func (x *q) waitHoldingOther() {
+	A.mu.Lock()
+	x.mu.Lock()
+	x.cond.Wait() // want `sync.Cond.Wait releases only its own lock; still holding locks.a.mu while waiting can deadlock`
+	x.mu.Unlock()
+	A.mu.Unlock()
+}
+
+// Clean patterns: consistent nesting order, deferred unlock, poll
+// selects, and goroutines (which start with an empty lock context).
+
+type c struct{ mu sync.Mutex }
+
+var C c
+
+func NestedConsistent() {
+	A.mu.Lock()
+	C.mu.Lock()
+	C.mu.Unlock()
+	A.mu.Unlock()
+}
+
+func DeferredUnlock() int {
+	C.mu.Lock()
+	defer C.mu.Unlock()
+	return 1
+}
+
+func PollLocked(c1 chan int) {
+	C.mu.Lock()
+	select {
+	case <-c1:
+	default:
+	}
+	C.mu.Unlock()
+}
+
+func SpawnLocked() {
+	C.mu.Lock()
+	go func() {
+		// The spawned goroutine holds nothing: locking A here is not an
+		// edge from C.
+		A.mu.Lock()
+		A.mu.Unlock()
+	}()
+	C.mu.Unlock()
+}

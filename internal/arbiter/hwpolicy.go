@@ -58,9 +58,10 @@ func (p *FSMPolicy) StepInto(req, grant []bool) {
 // simulation is arbitrated by the very gates the synthesis pipeline
 // produced.
 type NetlistPolicy struct {
-	n    int
-	name string
-	sim  *netlist.Simulator
+	n      int
+	name   string
+	sim    *netlist.Simulator
+	grants []bool
 }
 
 // NewNetlistPolicy synthesizes the N-task round-robin arbiter under the
@@ -78,7 +79,7 @@ func NewNetlistPolicy(n int, enc fsm.Encoding) (*NetlistPolicy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &NetlistPolicy{n: n, name: fmt.Sprintf("round-robin-gates-%s", enc), sim: s}, nil
+	return &NetlistPolicy{n: n, name: fmt.Sprintf("round-robin-gates-%s", enc), sim: s, grants: make([]bool, n)}, nil
 }
 
 // Name implements Policy.
@@ -90,13 +91,13 @@ func (p *NetlistPolicy) N() int { return p.n }
 // Reset implements Policy.
 func (p *NetlistPolicy) Reset() { p.sim.Reset() }
 
-// Step implements Policy.
+// Step implements Policy, returning the policy-internal grant slice
+// like every other implementation in the package — the Step adapter
+// contract ("never a new grant slice") forbids allocating a fresh
+// result each cycle, which p.sim.Step would do.
 func (p *NetlistPolicy) Step(req []bool) []bool {
-	out, err := p.sim.Step(req)
-	if err != nil {
-		panic(fmt.Sprintf("arbiter: netlist policy: %v", err))
-	}
-	return out
+	p.StepInto(req, p.grants)
+	return p.grants
 }
 
 // StepInto implements InPlaceStepper via the gate-level simulator's

@@ -55,6 +55,12 @@ type Options struct {
 	// ContentionSeed seeds the background generators' random streams
 	// (0 means 1). Runs are deterministic for a given seed.
 	ContentionSeed uint64
+	// UnsafeProtocols skips the acquisition-order deadlock check on the
+	// Shared specs (CheckProtocols): cyclic hold-and-wait protocols run
+	// anyway, guarded only by the MaxCyclesPerStage watchdog. This is
+	// the deadlock experiments' escape hatch; leave it false everywhere
+	// else.
+	UnsafeProtocols bool
 	// CaptureOnly restricts per-cycle arbiter trace recording to the
 	// named resources when non-nil (DisableTraces false): a run that
 	// only needs one resource's request stream pays for one. Nil keeps
@@ -79,6 +85,14 @@ type Design struct {
 // Compile runs partitioning, channel routing, and arbiter insertion.
 // programs supplies the raw (unarbitrated) behavior of every task.
 func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]behav.Program, opts Options) (*Design, error) {
+	// Refuse deadlock-prone acquisition orders at build time: a design
+	// compiled against a cyclic hold-and-wait protocol would only ever
+	// "work" by timing out its watchdog.
+	if !opts.UnsafeProtocols {
+		if err := CheckProtocols(opts.Shared); err != nil {
+			return nil, err
+		}
+	}
 	// Contention-aware partitioning: unless the caller set an explicit
 	// estimate, price each arbiter at the width it will be SIMULATED at
 	// (members + phantom lines + shared lanes), not its member width, so
@@ -155,6 +169,14 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 	}
 	if err := validateShared(d, opts.Shared); err != nil {
 		return nil, err
+	}
+	// Experiments compose contention per run, after Compile has already
+	// vetted the build-time specs — so the acquisition-order check runs
+	// here too, against whatever protocol this run actually injects.
+	if !opts.UnsafeProtocols {
+		if err := CheckProtocols(opts.Shared); err != nil {
+			return nil, err
+		}
 	}
 	res := &RunResult{Memory: mem}
 	for _, sp := range d.Stages {

@@ -241,6 +241,10 @@ func TestSharedContentionDeadlockAdjacent(t *testing.T) {
 	// The two extra M1 lanes overflow PE1 under contention-aware area
 	// pricing; this experiment is about the interlock, not board fit.
 	opts.Partition.ExpectedContention = map[string]int{}
+	// The circular acquisition order is the whole point here, so opt out
+	// of the build-time ordered-acquisition gate and let the watchdog do
+	// the detecting (the pre-checker behavior this test predates).
+	opts.UnsafeProtocols = true
 	opts.ContentionSeed = 1
 	opts.MaxCyclesPerStage = 20_000
 	d, mem, _ := compileFFT(t, 2, opts)

@@ -69,11 +69,12 @@ type admission struct {
 	// degenerates to FIFO.
 	stepper arbiter.BitStepper
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   [][]*waiter
-	inflight int
-	draining bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     [][]*waiter
+	inflight   int
+	draining   bool
+	drainAbort bool // set when drain's ctx expires, so its watcher exits
 
 	rejectedFull     atomic.Int64
 	rejectedDraining atomic.Int64
@@ -130,10 +131,7 @@ func (a *admission) acquire(ctx context.Context, class string) error {
 		a.rejectedDraining.Add(1)
 		return ErrDraining
 	}
-	// Fast path: free slot and nobody queued — wrr only matters under
-	// contention, so an idle server admits immediately.
-	if a.inflight < a.slots && a.queuedLocked() == 0 {
-		a.inflight++
+	if a.tryFastGrantLocked() {
 		a.mu.Unlock()
 		return nil
 	}
@@ -170,7 +168,26 @@ func (a *admission) acquire(ctx context.Context, class string) error {
 	}
 }
 
-// release returns an execution slot and dispatches queued waiters.
+// tryFastGrantLocked admits immediately when a slot is free and no
+// waiter is queued — wrr only matters under contention, so an idle
+// server grants without touching the stepper or the heap. This is the
+// per-request fast path: it must stay allocation-free
+// (TestAdmissionFastPathAllocs pins it at zero).
+//
+//sparcs:hotpath
+func (a *admission) tryFastGrantLocked() bool {
+	if a.inflight < a.slots && a.queuedLocked() == 0 {
+		a.inflight++
+		return true
+	}
+	return false
+}
+
+// release returns an execution slot and dispatches queued waiters. Like
+// the grant fast path, the uncontended release (empty queues) is on
+// every request's critical path and must not allocate.
+//
+//sparcs:hotpath
 func (a *admission) release() {
 	a.mu.Lock()
 	a.inflight--
@@ -221,11 +238,16 @@ func (a *admission) queuedLocked() int {
 func (a *admission) drain(ctx context.Context) error {
 	a.mu.Lock()
 	a.draining = true
+	a.drainAbort = false
 	a.mu.Unlock()
 	done := make(chan struct{})
+	// The watcher cannot select on ctx.Done() inside cond.Wait; instead
+	// the ctx branch below sets drainAbort under the mutex and
+	// Broadcasts, so the Wait provably wakes and the goroutine exits.
+	//sparcs:ignore goroleak ctx expiry sets drainAbort under mu and Broadcasts, waking this cond.Wait; the watcher cannot outlive drain by more than one wakeup
 	go func() {
 		a.mu.Lock()
-		for a.inflight > 0 || a.queuedLocked() > 0 {
+		for !a.drainAbort && (a.inflight > 0 || a.queuedLocked() > 0) {
 			a.cond.Wait()
 		}
 		a.mu.Unlock()
@@ -235,6 +257,10 @@ func (a *admission) drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		a.mu.Lock()
+		a.drainAbort = true
+		a.cond.Broadcast()
+		a.mu.Unlock()
 		return ctx.Err()
 	}
 }

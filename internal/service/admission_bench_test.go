@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// benchAdmission builds a multi-class controller so the wrr stepper is
+// wired in — the fast path must stay allocation-free even when the
+// contended path would exercise the arbiter.
+func benchAdmission(tb testing.TB) *admission {
+	tb.Helper()
+	classes := []Class{
+		{Name: "interactive", Weight: 4},
+		{Name: "batch", Weight: 1},
+	}
+	a, err := newAdmission(classes, 4, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+// TestAdmissionFastPathAllocs pins the uncontended grant/release cycle
+// at zero heap allocations: an idle server must admit and release an
+// experiment without touching the heap, matching the //sparcs:hotpath
+// marks on tryFastGrantLocked and release.
+func TestAdmissionFastPathAllocs(t *testing.T) {
+	a := benchAdmission(t)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := a.acquire(ctx, "interactive"); err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		a.release()
+	})
+	if allocs != 0 {
+		t.Fatalf("admission fast path allocates: %.1f allocs per grant/release cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkAdmissionGrantRelease measures the uncontended admission
+// fast path — the fixed per-request overhead the controller adds in
+// front of every experiment.
+func BenchmarkAdmissionGrantRelease(b *testing.B) {
+	a := benchAdmission(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.acquire(ctx, "interactive"); err != nil {
+			b.Fatal(err)
+		}
+		a.release()
+	}
+}

@@ -14,7 +14,7 @@ func ParallelFor(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := runtime.GOMAXPROCS(0) //sparcs:ignore determinism worker count only partitions the index space; fn(i) writes per-index results, so the fan-in is identical for any worker count
 	if workers > n {
 		workers = n
 	}

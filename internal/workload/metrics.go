@@ -63,6 +63,15 @@ type Metrics struct {
 	Violation string
 }
 
+// violate records the first online safety-check failure. Named rather
+// than a closure so the hot loop's call is statically resolvable.
+func (m *Metrics) violate(cycle int, kind string) {
+	if m.Violation == "" {
+		//sparcs:ignore hotpath first-violation formatting runs at most once per Drive, and only for a broken arbiter
+		m.Violation = fmt.Sprintf("cycle %d: %s", cycle, kind)
+	}
+}
+
 // Utilization is the fraction of all cycles the resource was granted.
 func (m *Metrics) Utilization() float64 {
 	if m.Cycles == 0 {
@@ -238,12 +247,6 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 	episodes := make([]int, n)
 	prevHolder := -1
 
-	violate := func(cycle int, kind string) {
-		if m.Violation == "" {
-			m.Violation = fmt.Sprintf("cycle %d: %s", cycle, kind)
-		}
-	}
-
 	//sparcs:hotpath
 	for cycle := 0; cycle < cycles; cycle++ {
 		// grant still holds last cycle's decision — the closed-loop
@@ -261,13 +264,13 @@ func Drive(p arbiter.Policy, g Generator, cycles int) (*Metrics, error) {
 		granted := grant.Count()
 		holder := grant.FirstSet()
 		if granted > 1 {
-			violate(cycle, "mutual-exclusion")
+			m.violate(cycle, "mutual-exclusion")
 		}
 		if grant&^req != 0 {
-			violate(cycle, "grant-implies-request")
+			m.violate(cycle, "grant-implies-request")
 		}
 		if (req != 0) != (holder >= 0) {
-			violate(cycle, "work-conservation")
+			m.violate(cycle, "work-conservation")
 		}
 		if req != 0 {
 			m.DemandCycles++

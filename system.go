@@ -102,10 +102,20 @@ func WithArbiterArea(area func(n int) int) BuildOption {
 // width instead of its member width, so a design that fits at Build time
 // still fits once contention widens its arbiters. An empty spec ""
 // explicitly opts out of the bump (price member widths only).
+//
+// The declared protocol is vetted like a run's: correlated specs whose
+// acquisition orders form a cycle are rejected here with a
+// *core.DeadlockProneError — there is no point sizing silicon for a
+// protocol no safe run may inject. (Deadlock experiments skip the
+// pricing bump, as the watchdog tests do, and opt in per run with
+// WithUnsafeProtocols.)
 func WithExpectedContention(spec string) BuildOption {
 	return func(c *buildConfig) error {
 		single, shared, err := core.ParseMixedContention(spec)
 		if err != nil {
+			return err
+		}
+		if err := core.CheckProtocols(shared); err != nil {
 			return err
 		}
 		extra := core.PhantomLines(single)
@@ -230,6 +240,21 @@ func WithContention(spec string) RunOption {
 		}
 		c.opts.Contention = append(c.opts.Contention, single...)
 		c.opts.Shared = append(c.opts.Shared, shared...)
+		return nil
+	}
+}
+
+// WithUnsafeProtocols disables the acquisition-order deadlock check for
+// this run. By default Run refuses contention protocols whose correlated
+// sources acquire resources in cyclically inconsistent orders — the
+// circular hold-and-wait — with a *core.DeadlockProneError naming the
+// cycle, because such a protocol can interlock and only ever terminates
+// through the WithMaxCycles watchdog. The deadlock experiments study
+// exactly that interlock, so this option restores the watchdog-only
+// behavior for them.
+func WithUnsafeProtocols() RunOption {
+	return func(c *runConfig) error {
+		c.opts.UnsafeProtocols = true
 		return nil
 	}
 }

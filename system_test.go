@@ -485,3 +485,47 @@ func TestSystemSweepPartialFailure(t *testing.T) {
 		}
 	}
 }
+
+// TestSystemRejectsDeadlockProneProtocol: the compile-once System must
+// refuse a per-run contention protocol whose correlated sources acquire
+// the same resources in opposite orders — the PR 5 circular
+// hold-and-wait repro — with the typed *core.DeadlockProneError naming
+// the cycle, while WithUnsafeProtocols restores the watchdog-only
+// behavior the deadlock experiments rely on.
+func TestSystemRejectsDeadlockProneProtocol(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circular := sparcs.WithContention("M1+M3=corr:0.90:64/1,M3+M1=corr:0.90:64/1")
+	_, err = sys.Run(circular, sparcs.WithSeed(1), sparcs.WithMaxCycles(20_000))
+	var dp *core.DeadlockProneError
+	if !errors.As(err, &dp) {
+		t.Fatalf("Run = %v, want *core.DeadlockProneError", err)
+	}
+	if len(dp.Cycle) != 3 || dp.Cycle[0] != dp.Cycle[2] {
+		t.Fatalf("cycle = %v, want a closed 2-cycle", dp.Cycle)
+	}
+
+	// Watchdog-only escape hatch: the run proceeds and the interlock is
+	// caught by the cycle watchdog instead.
+	res, err := sys.Run(circular, sparcs.WithSeed(1), sparcs.WithMaxCycles(20_000),
+		sparcs.WithUnsafeProtocols())
+	if err != nil {
+		t.Fatalf("WithUnsafeProtocols run failed: %v", err)
+	}
+	dead := false
+	for _, v := range res.Violations() {
+		dead = dead || v.Kind == "deadlock-or-timeout"
+	}
+	if !dead {
+		t.Fatalf("unsafe run did not hit the watchdog: %v", res.Violations())
+	}
+
+	// Build-time declaration path: expected contention declaring the
+	// cyclic protocol must fail sparcs.Build the same way.
+	_, err = sparcs.FFTSystem(2, sparcs.WithExpectedContention("M1+M3=corr:0.25,M3+M1=corr:0.25"))
+	if !errors.As(err, &dp) {
+		t.Fatalf("Build = %v, want *core.DeadlockProneError", err)
+	}
+}
