@@ -561,3 +561,38 @@ func BenchmarkPolicyWorkloadWide(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkScenarioChurn measures the online dynamic-reconfiguration
+// engine end to end: eight FFT jobs arriving through a bursty process
+// onto a two-resident fabric, placed by the strip allocator, their
+// reconfigurations hidden behind execution by the hybrid prefetcher.
+// The metric is simulated scenario cycles per wall-clock second —
+// the per-cycle hot loop (engine.stepCycle) plus the staged sim runs.
+// Tracked in BENCH_sim.json; CI smokes it with -bench=BenchmarkScenarioChurn.
+func BenchmarkScenarioChurn(b *testing.B) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sparcs.ScenarioConfig{
+		Entries:         []sparcs.ScenarioEntry{{System: sys}},
+		Arrivals:        "bursty/256",
+		Jobs:            8,
+		Seed:            1,
+		Prefetch:        sparcs.PrefetchHybrid,
+		FabricCols:      192,
+		FabricRows:      24,
+		CompactionDelay: 64,
+	}
+	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparcs.RunScenario(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += int64(res.Makespan)
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}

@@ -18,6 +18,9 @@
 //	sparcs -contend M1=bursty/1              # FFT under background contention
 //	sparcs -contend M1+M3=corr:0.25/1        # correlated hold-M1-wait-M3 source
 //	sparcs -mode arbbench -fft-column        # measured FFT traffic as a grid column
+//
+//	sparcs -mode scenario               # online arrive/depart grid
+//	sparcs -mode scenario -scn-jobs 12 -scn-arrivals bursty/256 -tiles 2
 package main
 
 import (
@@ -51,6 +54,15 @@ func main() {
 	policies := flag.String("policies", "", "arbbench: comma-separated policy specs (empty = all)")
 	workloads := flag.String("workloads", "", "arbbench: comma-separated workload specs (empty = all)")
 	fftColumn := flag.Bool("fft-column", false, "arbbench: capture the FFT case study's measured request stream (its -n line arbiter, under -policy) and add it as a grid column")
+	scnJobs := flag.Int("scn-jobs", 8, "scenario: number of arriving jobs")
+	scnArrivals := flag.String("scn-arrivals", "", "scenario: comma-separated arrival specs, shape[:param][/stride] (empty = defaults)")
+	scnPlacements := flag.String("scn-placements", "", "scenario: comma-separated placement modes, firstfit/bestfit (empty = both)")
+	scnPrefetch := flag.String("scn-prefetch", "", "scenario: comma-separated prefetch modes, none/hybrid (empty = both)")
+	scnCols := flag.Int("scn-cols", 0, "scenario: fabric CLB columns (0 = 384, four Wildforce boards side by side)")
+	scnRows := flag.Int("scn-rows", 0, "scenario: fabric CLB rows (0 = 24)")
+	scnCLB := flag.Int("scn-clb-cycles", 1, "scenario: reconfiguration cycles per CLB")
+	scnCompact := flag.Int("scn-compact", 64, "scenario: delayed-compaction trigger in cycles (negative disables)")
+	scnCross := flag.String("scn-cross", "", "scenario: cross-resident contention workload spec (empty = none)")
 	flag.Parse()
 
 	var err error
@@ -67,8 +79,17 @@ func main() {
 			policies: splitList(*policies), workloads: splitList(*workloads),
 			fftColumn: *fftColumn, fftTiles: *tiles, fftPolicy: *policy,
 		})
+	case "scenario":
+		err = runScenario(scenarioOptions{
+			tiles: *tiles, policy: *policy, jobs: *scnJobs, seed: *seed,
+			arrivals:   splitList(*scnArrivals),
+			placements: splitList(*scnPlacements),
+			prefetches: splitList(*scnPrefetch),
+			cols:       *scnCols, rows: *scnRows,
+			perCLB: *scnCLB, compactDelay: *scnCompact, cross: *scnCross,
+		})
 	default:
-		err = fmt.Errorf("unknown mode %q (flow or arbbench)", *mode)
+		err = fmt.Errorf("unknown mode %q (flow, arbbench, or scenario)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -243,6 +264,87 @@ func runFlow(o flowOptions) error {
 	fmt.Printf("hardware @ %.0f MHz: %.2f s\n", fft.ClockMHz, fft.HardwareSeconds(cpt, 512))
 	fmt.Printf("software (Pentium-150 model): %.2f s\n", fft.SoftwareSeconds(512))
 	fmt.Printf("speedup: %.2fx\n", fft.SoftwareSeconds(512)/fft.HardwareSeconds(cpt, 512))
+	return nil
+}
+
+type scenarioOptions struct {
+	tiles, jobs                      int
+	seed                             uint64
+	policy                           string
+	arrivals, placements, prefetches []string
+	cols, rows                       int
+	perCLB, compactDelay             int
+	cross                            string
+}
+
+// runScenario prints the online arrive/depart grid: for each arrival
+// process, every placement × prefetch combination's makespan against
+// the offline oracle bound, with reconfiguration-stall and queueing
+// statistics. The same compiled FFT System templates every job.
+func runScenario(o scenarioOptions) error {
+	if o.jobs < 1 {
+		return fmt.Errorf("scenario: -scn-jobs must be positive, got %d", o.jobs)
+	}
+	arrivals := o.arrivals
+	if arrivals == nil {
+		arrivals = []string{"bernoulli:0.001", "bursty/256", "markov/256"}
+	}
+	placements := o.placements
+	if placements == nil {
+		placements = []string{sparcs.PlaceFirstFit, sparcs.PlaceBestFit}
+	}
+	prefetches := o.prefetches
+	if prefetches == nil {
+		prefetches = []string{sparcs.PrefetchNone, sparcs.PrefetchHybrid}
+	}
+	cols, rows := o.cols, o.rows
+	if cols == 0 {
+		cols = 384
+	}
+	if rows == 0 {
+		rows = 24
+	}
+	sys, err := sparcs.FFTSystem(o.tiles)
+	if err != nil {
+		return err
+	}
+	entry := sparcs.ScenarioEntry{
+		Name:    "fft",
+		System:  sys,
+		Options: []sparcs.RunOption{sparcs.WithPolicy(o.policy)},
+	}
+	fmt.Printf("== scenario: %d fft jobs (tiles %d, footprint %d CLBs) on a %dx%d fabric, %d cycle(s)/CLB, seed %d ==\n",
+		o.jobs, o.tiles, sys.FootprintCLBs(), cols, rows, o.perCLB, o.seed)
+	for _, arr := range arrivals {
+		fmt.Printf("\n-- arrivals %s --\n", arr)
+		fmt.Printf("%-9s %-7s %9s %9s %6s %7s %6s %8s %7s\n",
+			"placement", "prefetch", "makespan", "oracle", "ratio", "stall%", "port%", "p99wait", "compact")
+		for _, pl := range placements {
+			for _, pf := range prefetches {
+				res, err := sparcs.RunScenario(sparcs.ScenarioConfig{
+					Entries:              []sparcs.ScenarioEntry{entry},
+					Arrivals:             arr,
+					Jobs:                 o.jobs,
+					Seed:                 o.seed,
+					Placement:            pl,
+					Prefetch:             pf,
+					ReconfigCyclesPerCLB: o.perCLB,
+					CompactionDelay:      o.compactDelay,
+					FabricCols:           cols,
+					FabricRows:           rows,
+					CrossContention:      o.cross,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-9s %-7s %9d %9d %6.2f %6.1f%% %5.1f%% %8d %7d\n",
+					pl, pf, res.Makespan, res.OracleMakespan,
+					float64(res.Makespan)/float64(res.OracleMakespan),
+					100*res.StallFraction, 100*res.PortBusyFraction,
+					res.QueueWaitP99, res.Compactions)
+			}
+		}
+	}
 	return nil
 }
 

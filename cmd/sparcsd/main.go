@@ -44,6 +44,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "serve: per-class admission queue bound (0 = 64)")
 	classes := flag.String("classes", "", "serve: admission classes as name=weight,... (default interactive=4,batch=1)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "serve: max wait for in-flight experiments on shutdown")
+	cacheCLBs := flag.Int("cache-clbs", 0, "serve: compiled-System cache budget in CLB footprint, LRU-evicted (0 = unbounded)")
 
 	design := flag.String("design", "fft", "once/loadtest: design name")
 	tiles := flag.Int("tiles", 2, "once/loadtest: fft tile count")
@@ -61,7 +62,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "serve":
-		err = runServe(*addr, *workers, *queueDepth, *classes, *drainTimeout)
+		err = runServe(*addr, *workers, *queueDepth, *classes, *drainTimeout, *cacheCLBs)
 	case "once":
 		err = runOnce(service.ExperimentRequest{
 			Design: *design,
@@ -113,12 +114,12 @@ func parseClasses(s string) ([]service.Class, error) {
 	return out, nil
 }
 
-func runServe(addr string, workers, queueDepth int, classSpec string, drainTimeout time.Duration) error {
+func runServe(addr string, workers, queueDepth int, classSpec string, drainTimeout time.Duration, cacheCLBs int) error {
 	cls, err := parseClasses(classSpec)
 	if err != nil {
 		return err
 	}
-	s, err := service.New(service.Config{Workers: workers, QueueDepth: queueDepth, Classes: cls})
+	s, err := service.New(service.Config{Workers: workers, QueueDepth: queueDepth, Classes: cls, CacheBudgetCLBs: cacheCLBs})
 	if err != nil {
 		return err
 	}

@@ -121,6 +121,30 @@ func Compile(g *taskgraph.Graph, board *rc.Board, programs map[string]behav.Prog
 	return d, nil
 }
 
+// StageAreas returns each stage's resident CLB footprint under the given
+// partition options' area model (tasks plus contention-widened arbiters;
+// see partition.StageArea).
+func (d *Design) StageAreas(opts partition.Options) []int {
+	areas := make([]int, len(d.Stages))
+	for i, sp := range d.Stages {
+		areas[i] = partition.StageArea(d.Graph, sp.Stage, opts)
+	}
+	return areas
+}
+
+// FootprintCLBs is the design's peak per-stage CLB footprint — the fabric
+// region a dynamic scheduler must reserve to host the design through all
+// its reconfiguration stages.
+func (d *Design) FootprintCLBs(opts partition.Options) int {
+	max := 0
+	for _, a := range d.StageAreas(opts) {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
 // StageStats pairs a stage with its simulation outcome.
 type StageStats struct {
 	Stage *StagePlan
@@ -180,31 +204,7 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 	}
 	res := &RunResult{Memory: mem}
 	for _, sp := range d.Stages {
-		contention, err := stageContention(sp, opts.Contention, opts.ContentionSeed)
-		if err != nil {
-			return nil, err
-		}
-		shared, err := stageShared(sp, opts.Shared, opts.ContentionSeed, len(opts.Contention))
-		if err != nil {
-			return nil, err
-		}
-		cfg := sim.Config{
-			Graph:             d.Graph,
-			Tasks:             sp.Stage.Tasks,
-			Programs:          sp.Inserted.Programs,
-			Arbiters:          sp.Inserted.Arbiters,
-			ResourceOfSegment: sp.Inserted.ResourceOfSegment,
-			ResourceOfChannel: sp.Inserted.ResourceOfChannel,
-			NewPolicy:         opts.NewPolicy,
-			NewPolicyWidened:  opts.NewPolicyWidened,
-			MaxCycles:         opts.MaxCyclesPerStage,
-			Memory:            mem,
-			DisableTraces:     opts.DisableTraces,
-			CaptureOnly:       opts.CaptureOnly,
-			Contention:        contention,
-			Shared:            shared,
-		}
-		stats, err := sim.Run(cfg)
+		stats, err := simulateStage(d, sp, mem, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -212,6 +212,64 @@ func Simulate(d *Design, mem *sim.Memory, opts Options) (*RunResult, error) {
 		res.TotalCycles += stats.Cycles
 	}
 	return res, nil
+}
+
+// SimulateStage runs one temporal partition of a compiled design over the
+// given memory image, with exactly the option composition Simulate uses
+// for that stage (same contention/shared seed derivation, same config).
+// This is the entry point for schedulers that interleave stages of many
+// designs on one fabric (internal/scenario): a design's stage i executed
+// here is cycle-identical to its execution inside Simulate.
+func SimulateStage(d *Design, si int, mem *sim.Memory, opts Options) (*sim.Stats, error) {
+	if si < 0 || si >= len(d.Stages) {
+		return nil, fmt.Errorf("core: stage index %d out of range (design has %d)", si, len(d.Stages))
+	}
+	if mem == nil {
+		mem = sim.NewMemory()
+	}
+	if err := validateContention(d, opts.Contention); err != nil {
+		return nil, err
+	}
+	if err := validateShared(d, opts.Shared); err != nil {
+		return nil, err
+	}
+	if !opts.UnsafeProtocols {
+		if err := CheckProtocols(opts.Shared); err != nil {
+			return nil, err
+		}
+	}
+	return simulateStage(d, d.Stages[si], mem, opts)
+}
+
+// simulateStage is the shared per-stage body of Simulate and
+// SimulateStage: compose this stage's contention and shared-resource
+// specs from the run options and execute the sim hot loop.
+func simulateStage(d *Design, sp *StagePlan, mem *sim.Memory, opts Options) (*sim.Stats, error) {
+	contention, err := stageContention(sp, opts.Contention, opts.ContentionSeed)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := stageShared(sp, opts.Shared, opts.ContentionSeed, len(opts.Contention))
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Graph:             d.Graph,
+		Tasks:             sp.Stage.Tasks,
+		Programs:          sp.Inserted.Programs,
+		Arbiters:          sp.Inserted.Arbiters,
+		ResourceOfSegment: sp.Inserted.ResourceOfSegment,
+		ResourceOfChannel: sp.Inserted.ResourceOfChannel,
+		NewPolicy:         opts.NewPolicy,
+		NewPolicyWidened:  opts.NewPolicyWidened,
+		MaxCycles:         opts.MaxCyclesPerStage,
+		Memory:            mem,
+		DisableTraces:     opts.DisableTraces,
+		CaptureOnly:       opts.CaptureOnly,
+		Contention:        contention,
+		Shared:            shared,
+	}
+	return sim.Run(cfg)
 }
 
 // SweepPoint is one independent simulation of a compiled design in a

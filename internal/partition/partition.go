@@ -93,6 +93,23 @@ type ArbiterSpec struct {
 // N returns the arbiter input count.
 func (a ArbiterSpec) N() int { return len(a.Members) }
 
+// StageArea is the stage's resident CLB footprint: every task's area
+// plus each arbiter priced by the options' area model at its expected
+// simulated width (members + ExpectedContention lines) — the same
+// pricing checkAreaWithArbiters enforces per PE, summed board-wide.
+// Schedulers that treat a compiled stage as one relocatable region
+// (internal/scenario's strip packer) size its rectangle from this.
+func StageArea(g *taskgraph.Graph, st *Stage, opts Options) int {
+	area := 0
+	for _, t := range st.Tasks {
+		area += g.TaskByName(t).AreaCLBs
+	}
+	for _, arb := range st.Arbiters {
+		area += opts.arbArea(arb.N() + opts.ExpectedContention[arb.Resource])
+	}
+	return area
+}
+
 // Temporal splits the taskgraph into reconfiguration stages and solves
 // each stage's spatial assignment and memory map.
 func Temporal(g *taskgraph.Graph, board *rc.Board, opts Options) ([]*Stage, error) {

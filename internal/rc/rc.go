@@ -128,6 +128,22 @@ func (b *Board) BanksOnPE(pe int) []int {
 	return out
 }
 
+// FabricDims flattens the board's PEs into one rectangular CLB fabric
+// for dynamic-reconfiguration scenarios: devices sit side by side
+// column-wise (cols sums the square array edges), and rows is the
+// shortest device edge, so every column offers at least rows CLBs. The
+// Wildforce reads as a 96x24 strip.
+func (b *Board) FabricDims() (cols, rows int) {
+	for _, pe := range b.PEs {
+		d := pe.Device.Dim()
+		cols += d
+		if rows == 0 || d < rows {
+			rows = d
+		}
+	}
+	return cols, rows
+}
+
 // TotalCLBs sums PE logic capacity.
 func (b *Board) TotalCLBs() int {
 	sum := 0

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// strip is a shelf-based strip-packing allocator over the fabric's CLB
+// grid (arXiv:1001.4493's level technique): the fabric is a strip cols
+// wide and rows tall, shelves stack bottom-up, and each resident design
+// occupies one rectangle on one shelf. Departures leave gaps inside
+// shelves; gaps are reused left-to-right, and topmost empty shelves are
+// popped so the strip height shrinks back. When fragmentation blocks a
+// placement that total free area could serve, the engine schedules a
+// delayed compaction (full FFDH repack) rather than moving residents
+// eagerly.
+type strip struct {
+	cols, rows int
+	bestFit    bool
+	shelves    []shelf
+}
+
+type shelf struct {
+	y, height int
+	spans     []span // sorted by x
+}
+
+type span struct {
+	id      int
+	x, w, h int
+}
+
+func newStrip(cols, rows int, bestFit bool) *strip {
+	return &strip{cols: cols, rows: rows, bestFit: bestFit}
+}
+
+// top is the first unused row above the highest shelf.
+func (s *strip) top() int {
+	if len(s.shelves) == 0 {
+		return 0
+	}
+	last := &s.shelves[len(s.shelves)-1]
+	return last.y + last.height
+}
+
+// free is the total unoccupied CLB area (including fragmented gaps a
+// single placement may not be able to use).
+func (s *strip) free() int {
+	used := 0
+	for i := range s.shelves {
+		for _, sp := range s.shelves[i].spans {
+			used += sp.w * sp.h
+		}
+	}
+	return s.cols*s.rows - used
+}
+
+// gapAt returns the leftmost x where a width-w gap exists in the shelf,
+// or -1. Spans are kept sorted by x.
+func (sh *shelf) gapAt(w, cols int) int {
+	x := 0
+	for _, sp := range sh.spans {
+		if sp.x-x >= w {
+			return x
+		}
+		x = sp.x + sp.w
+	}
+	if cols-x >= w {
+		return x
+	}
+	return -1
+}
+
+func (sh *shelf) insert(sp span) {
+	i := sort.Search(len(sh.spans), func(i int) bool { return sh.spans[i].x > sp.x })
+	sh.spans = append(sh.spans, span{})
+	copy(sh.spans[i+1:], sh.spans[i:])
+	sh.spans[i] = sp
+}
+
+// place allocates a w×h rectangle for id, returning its position.
+// First-fit scans shelves bottom-up and takes the first shelf tall
+// enough with a wide-enough gap; best-fit takes the shelf wasting the
+// least height (tie: least leftover gap width, then lowest shelf).
+// Either mode opens a new shelf of height h on top when no existing
+// shelf fits and headroom remains.
+func (s *strip) place(id, w, h int) (x, y int, ok bool) {
+	if w > s.cols || h > s.rows {
+		return 0, 0, false
+	}
+	best, bestX, bestWaste, bestSlack := -1, 0, 0, 0
+	for i := range s.shelves {
+		sh := &s.shelves[i]
+		if sh.height < h {
+			continue
+		}
+		gx := sh.gapAt(w, s.cols)
+		if gx < 0 {
+			continue
+		}
+		if !s.bestFit {
+			best, bestX = i, gx
+			break
+		}
+		waste := sh.height - h
+		slack := gapSlack(sh, gx, s.cols) - w
+		if best < 0 || waste < bestWaste || (waste == bestWaste && slack < bestSlack) {
+			best, bestX, bestWaste, bestSlack = i, gx, waste, slack
+		}
+	}
+	if best >= 0 {
+		s.shelves[best].insert(span{id: id, x: bestX, w: w, h: h})
+		return bestX, s.shelves[best].y, true
+	}
+	if s.rows-s.top() < h {
+		return 0, 0, false
+	}
+	y = s.top()
+	s.shelves = append(s.shelves, shelf{y: y, height: h, spans: []span{{id: id, x: 0, w: w, h: h}}})
+	return 0, y, true
+}
+
+// gapSlack is the full width of the gap starting at gx.
+func gapSlack(sh *shelf, gx, cols int) int {
+	end := cols
+	for _, sp := range sh.spans {
+		if sp.x >= gx {
+			end = sp.x
+			break
+		}
+	}
+	return end - gx
+}
+
+// remove frees id's rectangle and pops topmost empty shelves.
+func (s *strip) remove(id int) bool {
+	for i := range s.shelves {
+		sh := &s.shelves[i]
+		for j, sp := range sh.spans {
+			if sp.id == id {
+				sh.spans = append(sh.spans[:j], sh.spans[j+1:]...)
+				for len(s.shelves) > 0 && len(s.shelves[len(s.shelves)-1].spans) == 0 {
+					s.shelves = s.shelves[:len(s.shelves)-1]
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compact repacks every resident with first-fit decreasing height
+// (FFDH: tallest first, id tie-break for determinism) and returns the
+// ids whose position changed. If the repack somehow fails to re-place a
+// resident, the original layout is restored and nil is returned.
+func (s *strip) compact() []int {
+	var all []span
+	before := map[int][2]int{}
+	for i := range s.shelves {
+		for _, sp := range s.shelves[i].spans {
+			all = append(all, sp)
+			before[sp.id] = [2]int{sp.x, s.shelves[i].y}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].h != all[j].h {
+			return all[i].h > all[j].h
+		}
+		return all[i].id < all[j].id
+	})
+	snapshot := s.shelves
+	s.shelves = nil
+	wasBest := s.bestFit
+	s.bestFit = false // FFDH is defined on first-fit
+	var moved []int
+	for _, sp := range all {
+		x, y, ok := s.place(sp.id, sp.w, sp.h)
+		if !ok {
+			s.shelves = snapshot
+			s.bestFit = wasBest
+			return nil
+		}
+		if b := before[sp.id]; b[0] != x || b[1] != y {
+			moved = append(moved, sp.id)
+		}
+	}
+	s.bestFit = wasBest
+	sort.Ints(moved)
+	return moved
+}
+
+// rectOf reports id's current rectangle.
+func (s *strip) rectOf(id int) (x, y, w, h int, ok bool) {
+	for i := range s.shelves {
+		for _, sp := range s.shelves[i].spans {
+			if sp.id == id {
+				return sp.x, s.shelves[i].y, sp.w, sp.h, true
+			}
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// check verifies the packing invariants — every span inside the fabric
+// and inside its shelf's height, no two spans overlapping (within a
+// shelf by x-interval, across shelves by construction of disjoint y
+// bands). Tests sweep this after every engine event.
+func (s *strip) check() error {
+	y := 0
+	for i := range s.shelves {
+		sh := &s.shelves[i]
+		if sh.y != y {
+			return fmt.Errorf("strip: shelf %d at y=%d, expected %d", i, sh.y, y)
+		}
+		y += sh.height
+		if y > s.rows {
+			return fmt.Errorf("strip: shelf %d exceeds fabric height (%d > %d)", i, y, s.rows)
+		}
+		prevEnd := 0
+		for j, sp := range sh.spans {
+			if j > 0 && sp.x < prevEnd {
+				return fmt.Errorf("strip: shelf %d spans overlap at x=%d", i, sp.x)
+			}
+			if sp.x < 0 || sp.x+sp.w > s.cols {
+				return fmt.Errorf("strip: span %d outside fabric width", sp.id)
+			}
+			if sp.h > sh.height {
+				return fmt.Errorf("strip: span %d taller than its shelf", sp.id)
+			}
+			prevEnd = sp.x + sp.w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"sort"
+	"testing"
+)
+
+// checkStrip fails the test on any packing-invariant violation.
+func checkStrip(t *testing.T, s *strip, when string) {
+	t.Helper()
+	if err := s.check(); err != nil {
+		t.Fatalf("%s: %v", when, err)
+	}
+}
+
+func TestStripPlaceRemoveBasics(t *testing.T) {
+	s := newStrip(10, 10, false)
+	x, y, ok := s.place(0, 4, 3)
+	if !ok || x != 0 || y != 0 {
+		t.Fatalf("first placement at (%d,%d) ok=%v, want (0,0) true", x, y, ok)
+	}
+	// Same height rides the same shelf, next gap.
+	x, y, ok = s.place(1, 4, 3)
+	if !ok || x != 4 || y != 0 {
+		t.Fatalf("second placement at (%d,%d) ok=%v, want (4,0) true", x, y, ok)
+	}
+	// Too wide for the remaining gap: opens a shelf above.
+	x, y, ok = s.place(2, 6, 2)
+	if !ok || x != 0 || y != 3 {
+		t.Fatalf("third placement at (%d,%d) ok=%v, want (0,3) true", x, y, ok)
+	}
+	checkStrip(t, s, "after three placements")
+	if s.free() != 100-12-12-12 {
+		t.Fatalf("free = %d, want %d", s.free(), 100-36)
+	}
+	// Oversize requests fail cleanly.
+	if _, _, ok := s.place(9, 11, 1); ok {
+		t.Fatal("placement wider than the fabric succeeded")
+	}
+	if _, _, ok := s.place(9, 1, 11); ok {
+		t.Fatal("placement taller than the fabric succeeded")
+	}
+	// Freeing the middle span reopens its gap for an equal rectangle.
+	if !s.remove(1) {
+		t.Fatal("remove(1) found nothing")
+	}
+	x, y, ok = s.place(3, 4, 3)
+	if !ok || x != 4 || y != 0 {
+		t.Fatalf("gap reuse at (%d,%d) ok=%v, want (4,0) true", x, y, ok)
+	}
+	checkStrip(t, s, "after gap reuse")
+	// Removing the top shelf's only span shrinks the strip back.
+	s.remove(2)
+	if s.top() != 3 {
+		t.Fatalf("top = %d after top shelf emptied, want 3", s.top())
+	}
+	if s.remove(99) {
+		t.Fatal("remove of unknown id reported success")
+	}
+}
+
+// TestStripBestFitPrefersTightShelf pins the fit modes against each
+// other: with a tall half-empty shelf below a snug one, best-fit places
+// a short rectangle on the shelf wasting the least height while
+// first-fit grabs the bottom shelf.
+func TestStripBestFitPrefersTightShelf(t *testing.T) {
+	s := newStrip(10, 20, true)
+	s.place(0, 4, 8) // shelf 0: height 8, gap from x=4
+	s.place(1, 7, 2) // too wide for that gap: opens shelf 1, height 2
+	x, y, ok := s.place(2, 3, 2)
+	if !ok || y != 8 || x != 7 {
+		t.Fatalf("best-fit placed at (%d,%d) ok=%v, want (7,8) on the height-2 shelf", x, y, ok)
+	}
+	checkStrip(t, s, "best fit")
+
+	f := newStrip(10, 20, false)
+	f.place(0, 4, 8)
+	f.place(1, 7, 2)
+	if _, y, ok := f.place(2, 3, 2); !ok || y != 0 {
+		t.Fatalf("first-fit placed at y=%d ok=%v, want y=0", y, ok)
+	}
+}
+
+func TestStripCompact(t *testing.T) {
+	s := newStrip(10, 3, false)
+	s.place(0, 3, 3) // x=0
+	s.place(1, 2, 3) // x=3
+	s.place(2, 3, 3) // x=5
+	s.place(3, 2, 3) // x=8
+	// Two departures leave two 2-wide gaps: 4 columns free in total,
+	// but no contiguous 4-wide hole...
+	s.remove(1)
+	s.remove(3)
+	if _, _, ok := s.place(4, 4, 3); ok {
+		t.Fatal("placement should be fragmentation-blocked before compaction")
+	}
+	// ...until compaction slides the residents left.
+	moved := s.compact()
+	checkStrip(t, s, "after compact")
+	if len(moved) != 1 || moved[0] != 2 {
+		t.Fatalf("moved = %v, want [2] (id 2 slides left)", moved)
+	}
+	if x, _, ok := s.place(4, 4, 3); !ok || x != 6 {
+		t.Fatalf("post-compact placement x=%d ok=%v, want x=6 true", x, ok)
+	}
+	checkStrip(t, s, "after post-compact placement")
+}
+
+// splitmix64 is the test's deterministic PRNG (no global rand state).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestStripRandomSweep is the CheckAll-style exhaustive exercise: for
+// both fit modes, a deterministic random stream of place / remove /
+// compact operations with the packing invariants verified after every
+// single operation — no overlap, nothing outside the fabric, shelf
+// bookkeeping consistent — plus conservation of free area.
+func TestStripRandomSweep(t *testing.T) {
+	for _, bestFit := range []bool{false, true} {
+		mode := "firstfit"
+		if bestFit {
+			mode = "bestfit"
+		}
+		t.Run(mode, func(t *testing.T) {
+			rng := splitmix64(42)
+			s := newStrip(32, 24, bestFit)
+			live := map[int]int{} // id -> area
+			next := 0
+			usedArea := 0
+			for op := 0; op < 4000; op++ {
+				switch r := rng.next() % 10; {
+				case r < 6: // place
+					w := int(rng.next()%12) + 1
+					h := int(rng.next()%8) + 1
+					if _, _, ok := s.place(next, w, h); ok {
+						live[next] = w * h
+						usedArea += w * h
+						next++
+					}
+				case r < 9: // remove a deterministically chosen live id
+					if len(live) == 0 {
+						continue
+					}
+					ids := make([]int, 0, len(live))
+					for id := range live {
+						ids = append(ids, id)
+					}
+					sort.Ints(ids)
+					id := ids[rng.next()%uint64(len(ids))]
+					if !s.remove(id) {
+						t.Fatalf("op %d: live id %d not found", op, id)
+					}
+					usedArea -= live[id]
+					delete(live, id)
+				default:
+					s.compact()
+				}
+				if err := s.check(); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				if got := 32*24 - s.free(); got != usedArea {
+					t.Fatalf("op %d: used area %d, want %d", op, got, usedArea)
+				}
+				for id := range live {
+					if _, _, _, _, ok := s.rectOf(id); !ok {
+						t.Fatalf("op %d: live id %d lost its rectangle", op, id)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -11,39 +12,62 @@ import (
 // keyed by their design hash (sparcs.DesignHash), with singleflight
 // semantics — concurrent requests for one uncached design trigger
 // exactly one core.Compile, and every later request for the same hash
-// skips compilation entirely. Entries are never evicted: a compiled
-// System is a few compiled stages, and the design space a server
-// instance sees is bounded by its registry.
+// skips compilation entirely. Residency is bounded by compiled CLB
+// footprint (System.FootprintCLBs — the same weight the scenario
+// engine's fabric charges): when the budget is exceeded the
+// least-recently-used entries are evicted, and a later request for an
+// evicted hash recompiles exactly once under a fresh singleflight.
 type systemCache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	mu       sync.Mutex
+	budget   int // resident CLB budget; <= 0 means unbounded
+	resident int // total weight of weighed-in entries
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recently used; values are *cacheEntry
 
-	hits     atomic.Int64 // requests that found an existing entry
-	misses   atomic.Int64 // requests that created the entry
-	compiles atomic.Int64 // actual core.Compile executions (== misses)
+	hits      atomic.Int64 // requests that found an existing entry
+	misses    atomic.Int64 // requests that created the entry
+	compiles  atomic.Int64 // actual core.Compile executions (== misses)
+	evictions atomic.Int64 // entries dropped to stay under budget
 }
 
 type cacheEntry struct {
+	hash string
 	once sync.Once
 	sys  *sparcs.System
 	err  error
+
+	// weight is the entry's CLB footprint, set under the cache lock
+	// after compilation (0 while the compile is in flight — such an
+	// entry is not yet accounted and never evicted). gone marks an
+	// entry evicted from the map; a gone entry still serves the callers
+	// already holding it but no longer counts against the budget.
+	weight int
+	gone   bool
+	elem   *list.Element
 }
 
-func newSystemCache() *systemCache {
-	return &systemCache{entries: map[string]*cacheEntry{}}
+func newSystemCache(budgetCLBs int) *systemCache {
+	return &systemCache{
+		budget:  budgetCLBs,
+		entries: map[string]*cacheEntry{},
+		lru:     list.New(),
+	}
 }
 
 // get returns the compiled System for hash, compiling at most once per
-// hash across all callers. hit reports whether the entry already
-// existed — a request arriving while the first compile is still in
-// flight counts as a hit: it blocks on the singleflight instead of
-// compiling. Compile errors are cached too: the hash covers every
-// compile input, so the same inputs fail the same way.
+// resident entry across all callers. hit reports whether the entry
+// already existed — a request arriving while the first compile is still
+// in flight counts as a hit: it blocks on the singleflight instead of
+// compiling. Compile errors are cached too (at weight 1): the hash
+// covers every compile input, so the same inputs fail the same way.
 func (c *systemCache) get(hash string, compile func() (*sparcs.System, error)) (sys *sparcs.System, hit bool, err error) {
 	c.mu.Lock()
 	e, ok := c.entries[hash]
-	if !ok {
-		e = &cacheEntry{}
+	if ok {
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e = &cacheEntry{hash: hash}
+		e.elem = c.lru.PushFront(e)
 		c.entries[hash] = e
 	}
 	c.mu.Unlock()
@@ -55,6 +79,58 @@ func (c *systemCache) get(hash string, compile func() (*sparcs.System, error)) (
 	e.once.Do(func() {
 		c.compiles.Add(1)
 		e.sys, e.err = compile()
+		// Weigh the entry in only now: the footprint is a property of
+		// the compiled design, unknown when the entry was created.
+		w := 1
+		if e.err == nil {
+			if f := e.sys.FootprintCLBs(); f > 0 {
+				w = f
+			}
+		}
+		c.mu.Lock()
+		if !e.gone {
+			e.weight = w
+			c.resident += w
+			c.evictLocked(e)
+		}
+		c.mu.Unlock()
 	})
 	return e.sys, ok, e.err
+}
+
+// evictLocked drops least-recently-used entries until the resident
+// weight fits the budget, never evicting keep (the entry that just
+// weighed in — the cache always serves the design it just compiled, so
+// the effective bound is max(budget, largest single footprint)) or
+// entries still compiling (weight 0).
+func (c *systemCache) evictLocked(keep *cacheEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for c.resident > c.budget {
+		victim := (*cacheEntry)(nil)
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			if e == keep || e.weight == 0 {
+				continue
+			}
+			victim = e
+			break
+		}
+		if victim == nil {
+			return
+		}
+		victim.gone = true
+		c.resident -= victim.weight
+		c.lru.Remove(victim.elem)
+		delete(c.entries, victim.hash)
+		c.evictions.Add(1)
+	}
+}
+
+// snapshot reports the resident weight and entry count for /v1/stats.
+func (c *systemCache) snapshot() (residentCLBs, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident, len(c.entries)
 }

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sparcs"
+)
+
+// compileFFT compiles the reference FFT design. The cache is keyed by a
+// caller-supplied hash, so churn tests reuse one design under distinct
+// hashes: every entry then has the same known footprint.
+func compileFFT() (*sparcs.System, error) {
+	return sparcs.FFTSystem(2)
+}
+
+func fftFootprint(t *testing.T) int {
+	t.Helper()
+	sys, err := compileFFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foot := sys.FootprintCLBs()
+	if foot <= 1 {
+		t.Fatalf("FootprintCLBs = %d, want > 1", foot)
+	}
+	return foot
+}
+
+// TestCacheLRUBoundUnderChurn drives a stream of distinct hashes
+// through a footprint-bounded cache and proves residency never exceeds
+// the budget while the least-recently-used entries get evicted.
+func TestCacheLRUBoundUnderChurn(t *testing.T) {
+	foot := fftFootprint(t)
+	// Budget holds exactly two compiled designs.
+	budget := 2 * foot
+	c := newSystemCache(budget)
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.get(fmt.Sprintf("h%d", i), compileFFT); err != nil {
+			t.Fatal(err)
+		}
+		resident, entries := c.snapshot()
+		if resident > budget {
+			t.Fatalf("after insert %d: resident %d CLBs exceeds budget %d", i, resident, budget)
+		}
+		if entries > 2 {
+			t.Fatalf("after insert %d: %d entries resident, want <= 2", i, entries)
+		}
+	}
+	if got := c.evictions.Load(); got != 6 {
+		t.Fatalf("evictions = %d, want 6 (8 inserts, 2 resident)", got)
+	}
+	// The most recent entries survived; the oldest were dropped.
+	if _, hit, _ := c.get("h7", compileFFT); !hit {
+		t.Fatal("most recent entry h7 was evicted")
+	}
+	if _, hit, _ := c.get("h0", compileFFT); hit {
+		t.Fatal("oldest entry h0 should have been evicted")
+	}
+}
+
+// TestCacheReMissRecompilesOnce proves the singleflight contract
+// survives eviction: concurrent requests for an evicted hash trigger
+// exactly one recompile, and the total compile count equals the number
+// of distinct misses, never more.
+func TestCacheReMissRecompilesOnce(t *testing.T) {
+	foot := fftFootprint(t)
+	c := newSystemCache(foot) // holds exactly one design
+	var compiles atomic.Int64
+	counted := func() (*sparcs.System, error) {
+		compiles.Add(1)
+		return compileFFT()
+	}
+	if _, _, err := c.get("a", counted); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.get("b", counted); err != nil { // evicts "a"
+		t.Fatal(err)
+	}
+	if _, entries := c.snapshot(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	// Re-miss on "a": many goroutines at once, exactly one recompile.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.get("a", counted); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := compiles.Load(); got != 3 {
+		t.Fatalf("compiles = %d, want 3 (a, b, re-missed a)", got)
+	}
+	if got := c.compiles.Load(); got != 3 {
+		t.Fatalf("cache-counted compiles = %d, want 3", got)
+	}
+}
+
+// TestCacheUnboundedKeepsEverything pins the historical default:
+// budget <= 0 never evicts.
+func TestCacheUnboundedKeepsEverything(t *testing.T) {
+	c := newSystemCache(0)
+	for i := 0; i < 6; i++ {
+		if _, _, err := c.get(fmt.Sprintf("h%d", i), compileFFT); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, entries := c.snapshot(); entries != 6 {
+		t.Fatalf("entries = %d, want 6", entries)
+	}
+	if got := c.evictions.Load(); got != 0 {
+		t.Fatalf("evictions = %d, want 0", got)
+	}
+}
+
+// TestCacheNeverEvictsJustCompiled proves a design larger than the
+// whole budget still serves: the entry that just weighed in is never
+// its own victim, so the effective bound is max(budget, largest
+// footprint).
+func TestCacheNeverEvictsJustCompiled(t *testing.T) {
+	c := newSystemCache(1) // smaller than any real footprint
+	if _, _, err := c.get("big", compileFFT); err != nil {
+		t.Fatal(err)
+	}
+	resident, entries := c.snapshot()
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1 (just-compiled entry must stay)", entries)
+	}
+	if resident <= 1 {
+		t.Fatalf("resident = %d, want the design's real footprint", resident)
+	}
+	// The next insert evicts it.
+	if _, _, err := c.get("next", compileFFT); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := c.get("big", compileFFT); hit {
+		t.Fatal("oversized entry should have been evicted by the next insert")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"sparcs"
 	"sparcs/internal/fft"
@@ -48,6 +49,10 @@ type Config struct {
 	// {interactive: weight 4, batch: weight 1}. The first class is the
 	// default for requests that name none.
 	Classes []Class
+	// CacheBudgetCLBs bounds the compiled-System cache by total CLB
+	// footprint (LRU eviction; a later request for an evicted design
+	// recompiles once). <= 0 means unbounded — the historical behavior.
+	CacheBudgetCLBs int
 }
 
 // Server is one service instance. Create with New, mount Handler, and
@@ -56,6 +61,7 @@ type Server struct {
 	cfg    Config
 	cache  *systemCache
 	adm    *admission
+	slo    *sloTracker
 	mux    *http.ServeMux
 	served atomic.Int64
 }
@@ -75,7 +81,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, cache: newSystemCache(), adm: adm}
+	s := &Server{cfg: cfg, cache: newSystemCache(cfg.CacheBudgetCLBs), adm: adm, slo: newSLOTracker(cfg.Classes)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
@@ -154,15 +160,19 @@ type SweepErrorJSON struct {
 
 // Stats is the GET /v1/stats body.
 type Stats struct {
-	Served           int64          `json:"served"`
-	CacheHits        int64          `json:"cacheHits"`
-	CacheMisses      int64          `json:"cacheMisses"`
-	Compiles         int64          `json:"compiles"`
-	RejectedFull     int64          `json:"rejectedFull"`
-	RejectedDraining int64          `json:"rejectedDraining"`
-	Inflight         int            `json:"inflight"`
-	Queued           map[string]int `json:"queued"`
-	Draining         bool           `json:"draining"`
+	Served            int64               `json:"served"`
+	CacheHits         int64               `json:"cacheHits"`
+	CacheMisses       int64               `json:"cacheMisses"`
+	Compiles          int64               `json:"compiles"`
+	CacheEvictions    int64               `json:"cacheEvictions"`
+	CacheResidentCLBs int                 `json:"cacheResidentCLBs"`
+	CacheEntries      int                 `json:"cacheEntries"`
+	RejectedFull      int64               `json:"rejectedFull"`
+	RejectedDraining  int64               `json:"rejectedDraining"`
+	Inflight          int                 `json:"inflight"`
+	Queued            map[string]int      `json:"queued"`
+	Draining          bool                `json:"draining"`
+	Classes           map[string]ClassSLO `json:"classes"`
 }
 
 // ErrorJSON is the body of every non-2xx response.
@@ -287,11 +297,18 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", err)
 		return
 	}
-	if err := s.adm.acquire(r.Context(), s.class(req.Class)); err != nil {
+	class := s.class(req.Class)
+	t0 := time.Now()
+	if err := s.adm.acquire(r.Context(), class); err != nil {
 		s.writeAdmissionError(w, err)
 		return
 	}
+	waitMs := int(time.Since(t0).Milliseconds())
+	start := time.Now()
 	defer s.adm.release()
+	defer func() {
+		s.slo.observe(class, waitMs, int(time.Since(start).Milliseconds()))
+	}()
 	sys, hash, hit, err := s.system(req.Design, req.Tiles, req.Build)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad-design", err)
@@ -321,11 +338,18 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad-request", errors.New("service: sweep needs at least one experiment"))
 		return
 	}
-	if err := s.adm.acquire(r.Context(), s.class(req.Class)); err != nil {
+	class := s.class(req.Class)
+	t0 := time.Now()
+	if err := s.adm.acquire(r.Context(), class); err != nil {
 		s.writeAdmissionError(w, err)
 		return
 	}
+	waitMs := int(time.Since(t0).Milliseconds())
+	start := time.Now()
 	defer s.adm.release()
+	defer func() {
+		s.slo.observe(class, waitMs, int(time.Since(start).Milliseconds()))
+	}()
 	sys, hash, hit, err := s.system(req.Design, req.Tiles, req.Build)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad-design", err)
@@ -368,16 +392,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	inflight, queued, draining := s.adm.snapshot()
+	residentCLBs, entries := s.cache.snapshot()
 	st := Stats{
-		Served:           s.served.Load(),
-		CacheHits:        s.cache.hits.Load(),
-		CacheMisses:      s.cache.misses.Load(),
-		Compiles:         s.cache.compiles.Load(),
-		RejectedFull:     s.adm.rejectedFull.Load(),
-		RejectedDraining: s.adm.rejectedDraining.Load(),
-		Inflight:         inflight,
-		Queued:           queued,
-		Draining:         draining,
+		Served:            s.served.Load(),
+		CacheHits:         s.cache.hits.Load(),
+		CacheMisses:       s.cache.misses.Load(),
+		Compiles:          s.cache.compiles.Load(),
+		CacheEvictions:    s.cache.evictions.Load(),
+		CacheResidentCLBs: residentCLBs,
+		CacheEntries:      entries,
+		RejectedFull:      s.adm.rejectedFull.Load(),
+		RejectedDraining:  s.adm.rejectedDraining.Load(),
+		Inflight:          inflight,
+		Queued:            queued,
+		Draining:          draining,
+		Classes:           s.slo.snapshot(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(st); err != nil {

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"sync"
+
+	"sparcs/internal/workload"
+)
+
+// ClassSLO is one admission class's latency service-level report:
+// percentile upper bounds (workload.Hist log2-bucket semantics) over
+// admission wait — request arrival to slot acquisition — and service
+// time — acquisition to response — in milliseconds.
+type ClassSLO struct {
+	Count        int64 `json:"count"`
+	WaitP50Ms    int   `json:"waitP50Ms"`
+	WaitP99Ms    int   `json:"waitP99Ms"`
+	ServiceP50Ms int   `json:"serviceP50Ms"`
+	ServiceP99Ms int   `json:"serviceP99Ms"`
+}
+
+// sloTracker aggregates per-class latency histograms, reusing the
+// workload package's wait-percentile buckets so the service reports
+// quantiles with the same estimator the arbitration metrics use.
+type sloTracker struct {
+	mu      sync.Mutex
+	classes map[string]*classHists
+}
+
+type classHists struct {
+	wait    workload.Hist
+	service workload.Hist
+}
+
+func newSLOTracker(classes []Class) *sloTracker {
+	t := &sloTracker{classes: map[string]*classHists{}}
+	for _, c := range classes {
+		t.classes[c.Name] = &classHists{}
+	}
+	return t
+}
+
+// observe records one admitted request's wait and service times.
+func (t *sloTracker) observe(class string, waitMs, serviceMs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ch, ok := t.classes[class]
+	if !ok {
+		ch = &classHists{}
+		t.classes[class] = ch
+	}
+	ch.wait.Observe(waitMs)
+	ch.service.Observe(serviceMs)
+}
+
+// snapshot renders the per-class SLO report for /v1/stats.
+func (t *sloTracker) snapshot() map[string]ClassSLO {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]ClassSLO, len(t.classes))
+	for name, ch := range t.classes {
+		out[name] = ClassSLO{
+			Count:        ch.wait.Count,
+			WaitP50Ms:    ch.wait.Percentile(0.50),
+			WaitP99Ms:    ch.wait.Percentile(0.99),
+			ServiceP50Ms: ch.service.Percentile(0.50),
+			ServiceP99Ms: ch.service.Percentile(0.99),
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestStatsClassSLO pins the per-class latency SLO report on /v1/stats:
+// every configured class appears (zero-count when idle), served
+// requests are attributed to their admission class, an unset class maps
+// to the default (first configured), and the percentile fields are
+// sane (p50 <= p99, non-negative).
+func TestStatsClassSLO(t *testing.T) {
+	s := newServer(t, Config{})
+
+	st := statsOf(t, s)
+	for _, name := range []string{"interactive", "batch"} {
+		slo, ok := st.Classes[name]
+		if !ok {
+			t.Fatalf("idle stats missing configured class %q", name)
+		}
+		if slo.Count != 0 {
+			t.Fatalf("idle class %q count = %d, want 0", name, slo.Count)
+		}
+	}
+
+	req := ExperimentRequest{Design: "fft", Tiles: 2}
+	for i := 0; i < 3; i++ { // class unset -> default class "interactive"
+		if rec := post(t, s.Handler(), "/v1/experiments", req); rec.Code != http.StatusOK {
+			t.Fatalf("experiment: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	req.Class = "batch"
+	if rec := post(t, s.Handler(), "/v1/experiments", req); rec.Code != http.StatusOK {
+		t.Fatalf("batch experiment: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	st = statsOf(t, s)
+	if got := st.Classes["interactive"].Count; got != 3 {
+		t.Fatalf("interactive count = %d, want 3 (unset class maps to default)", got)
+	}
+	if got := st.Classes["batch"].Count; got != 1 {
+		t.Fatalf("batch count = %d, want 1", got)
+	}
+	for name, slo := range st.Classes {
+		if slo.WaitP50Ms < 0 || slo.WaitP99Ms < slo.WaitP50Ms {
+			t.Fatalf("class %q wait percentiles out of order: p50=%d p99=%d", name, slo.WaitP50Ms, slo.WaitP99Ms)
+		}
+		if slo.ServiceP50Ms < 0 || slo.ServiceP99Ms < slo.ServiceP50Ms {
+			t.Fatalf("class %q service percentiles out of order: p50=%d p99=%d", name, slo.ServiceP50Ms, slo.ServiceP99Ms)
+		}
+	}
+
+	// Cache accounting rides along: one design compiled, resident, never
+	// evicted under the default unbounded budget.
+	if st.CacheEntries != 1 || st.CacheEvictions != 0 {
+		t.Fatalf("cache entries=%d evictions=%d, want 1 and 0", st.CacheEntries, st.CacheEvictions)
+	}
+	if st.CacheResidentCLBs <= 0 {
+		t.Fatalf("cacheResidentCLBs = %d, want > 0", st.CacheResidentCLBs)
+	}
+}

@@ -1,0 +1,25 @@
+package workload
+
+// Hist is a standalone log2 histogram with the same bucket layout and
+// quantile semantics as Metrics.WaitHist, for callers that track latency
+// distributions outside a Drive run (sparcsd's per-class SLO metrics,
+// scenario queueing stats). The zero value is ready to use.
+type Hist struct {
+	Buckets [WaitBuckets]int64
+	Count   int64
+}
+
+// Observe records one sample. Negative samples clamp to zero (bucket 0).
+func (h *Hist) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.Buckets[histBucket(v)]++
+	h.Count++
+}
+
+// Percentile returns an upper bound on the q-quantile of observed
+// samples, with the same edge conventions as Metrics.PercentileWait.
+func (h *Hist) Percentile(q float64) int {
+	return percentile(h.Buckets, q)
+}

@@ -150,11 +150,17 @@ func (m *Metrics) WorstEpisodes() int {
 // a quantile landing there reports that bucket's lower edge (the bound
 // "at least this much"). A run with no completed services reports 0.
 func (m *Metrics) PercentileWait(q float64) int {
+	return percentile(m.WaitHist, q)
+}
+
+// percentile is the shared log2-bucket quantile estimator behind
+// Metrics.PercentileWait and Hist.Percentile.
+func percentile(hist [WaitBuckets]int64, q float64) int {
 	if q <= 0 || q > 1 {
 		return 0
 	}
 	var total int64
-	for _, c := range m.WaitHist {
+	for _, c := range hist {
 		total += c
 	}
 	if total == 0 {
@@ -174,7 +180,7 @@ func (m *Metrics) PercentileWait(q float64) int {
 	}
 	var cum int64
 	for b := 0; b < WaitBuckets; b++ {
-		cum += m.WaitHist[b]
+		cum += hist[b]
 		if cum >= target {
 			return bucketEdge(b)
 		}

@@ -36,6 +36,17 @@ var XC4013E = Device{Name: "XC4013E", CLBs: 576, Pins: 192}
 // XC4010E is a smaller family member used in portability tests.
 var XC4010E = Device{Name: "XC4010E", CLBs: 400, Pins: 160}
 
+// Dim is the edge of the device's square CLB array (the XC4000E family
+// is square: XC4013E = 24x24, XC4010E = 20x20). For a hypothetical
+// non-square capacity it rounds up, so Dim()² >= CLBs.
+func (d Device) Dim() int {
+	n := int(math.Sqrt(float64(d.CLBs)))
+	for n*n < d.CLBs {
+		n++
+	}
+	return n
+}
+
 // Timing constants for the -3 speed grade, in nanoseconds.
 const (
 	TCko      = 2.8  // flip-flop clock-to-out

@@ -1,0 +1,99 @@
+package sparcs_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sparcs"
+)
+
+// TestScenarioZeroChurnMatchesRun is the scenario engine's anchor to
+// the static flow: one job, no neighbors, no cross-contention must be
+// the same experiment as a plain System.Run — identical per-stage
+// sim.Stats and an identical final memory image, for a bare run and for
+// a composed one (policy + background contention + seed).
+func TestScenarioZeroChurnMatchesRun(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []sparcs.RunOption
+	}{
+		{"bare", nil},
+		{"composed", []sparcs.RunOption{
+			sparcs.WithPolicy("wrr:2"),
+			sparcs.WithContention("M1=hog/1"),
+			sparcs.WithSeed(7),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := sys.Run(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, prefetch := range []string{sparcs.PrefetchNone, sparcs.PrefetchHybrid} {
+				res, err := sparcs.RunScenario(sparcs.ScenarioConfig{
+					Entries:   []sparcs.ScenarioEntry{{System: sys, Options: tc.opts}},
+					Jobs:      1,
+					Prefetch:  prefetch,
+					KeepStats: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Jobs) != 1 {
+					t.Fatalf("%d job reports, want 1", len(res.Jobs))
+				}
+				j := res.Jobs[0]
+				if len(j.Stages) != len(ref.Stages) {
+					t.Fatalf("prefetch=%s: %d stage stats, want %d", prefetch, len(j.Stages), len(ref.Stages))
+				}
+				for i := range ref.Stages {
+					if !reflect.DeepEqual(ref.Stages[i].Stats, j.Stages[i]) {
+						t.Fatalf("prefetch=%s: stage %d stats diverge from System.Run:\nrun:      %+v\nscenario: %+v",
+							prefetch, i, ref.Stages[i].Stats, j.Stages[i])
+					}
+				}
+				if !reflect.DeepEqual(ref.Memory, j.Memory) {
+					t.Fatalf("prefetch=%s: final memory image diverges from System.Run", prefetch)
+				}
+				if j.ArbWait == 0 && tc.name == "composed" {
+					t.Fatalf("composed run reports zero arbiter wait; contention was dropped")
+				}
+			}
+		})
+	}
+}
+
+// TestRunScenarioValidation pins the facade's error surface.
+func TestRunScenarioValidation(t *testing.T) {
+	sys, err := sparcs.FFTSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sparcs.RunScenario(sparcs.ScenarioConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := sparcs.RunScenario(sparcs.ScenarioConfig{
+		Entries: []sparcs.ScenarioEntry{{System: sys, Options: []sparcs.RunOption{sparcs.WithMemory(sparcs.NewMemory())}}},
+		Jobs:    1,
+	}); err == nil {
+		t.Fatal("WithMemory accepted: scenario jobs must own their memory images")
+	}
+	if _, err := sparcs.RunScenario(sparcs.ScenarioConfig{
+		Entries:         []sparcs.ScenarioEntry{{System: sys}},
+		Jobs:            1,
+		CrossContention: "no-such-shape",
+	}); err == nil {
+		t.Fatal("bad cross-contention spec accepted")
+	}
+	if _, err := sparcs.RunScenario(sparcs.ScenarioConfig{
+		Entries: []sparcs.ScenarioEntry{{System: sys, Options: []sparcs.RunOption{sparcs.WithPolicy("no-such-policy")}}},
+		Jobs:    1,
+	}); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -324,6 +324,25 @@ type Result struct {
 // so concurrent Runs are safe as long as they don't share a WithMemory
 // image.
 func (s *System) Run(opts ...RunOption) (*Result, error) {
+	c, err := s.composeRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	mem := c.mem
+	if mem == nil {
+		mem = NewMemory()
+	}
+	res, err := core.Simulate(s.design, mem, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RunResult: res, system: s}, nil
+}
+
+// composeRun applies the RunOptions and validates the composition
+// against the compiled design, producing the core.Options a run (or a
+// scenario job, which executes stages one at a time) simulates under.
+func (s *System) composeRun(opts []RunOption) (runConfig, error) {
 	c := runConfig{opts: core.Options{
 		Partition:     s.build.Partition,
 		Insert:        s.build.Insert,
@@ -334,7 +353,7 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 			continue
 		}
 		if err := opt(&c); err != nil {
-			return nil, err
+			return c, err
 		}
 	}
 	// Compose the capture taps: an argument-less WithCapture() records
@@ -344,7 +363,7 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 		c.opts.CaptureOnly = nil
 	} else if len(c.capture) > 0 {
 		if err := s.validateCapture(c.capture); err != nil {
-			return nil, err
+			return c, err
 		}
 		c.opts.DisableTraces = false
 		c.opts.CaptureOnly = c.capture
@@ -360,7 +379,7 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 			for _, a := range sp.Inserted.Arbiters {
 				w := widths[si][a.Resource]
 				if _, err := c.policy.NewWidened(a.N(), w); err != nil {
-					return nil, fmt.Errorf("sparcs: policy %s unusable for the %d-line arbiter on %s in stage %d (%d members + %d background): %w",
+					return c, fmt.Errorf("sparcs: policy %s unusable for the %d-line arbiter on %s in stage %d (%d members + %d background): %w",
 						c.policy, w, a.Resource, si, a.N(), w-a.N(), err)
 				}
 			}
@@ -381,15 +400,16 @@ func (s *System) Run(opts ...RunOption) (*Result, error) {
 			return p
 		}
 	}
-	mem := c.mem
-	if mem == nil {
-		mem = NewMemory()
-	}
-	res, err := core.Simulate(s.design, mem, c.opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{RunResult: res, system: s}, nil
+	return c, nil
+}
+
+// FootprintCLBs is the compiled design's peak per-stage CLB footprint
+// under the Build-time area model — tasks plus contention-widened
+// arbiters. It is the fabric rectangle a dynamic scheduler reserves for
+// the System (RunScenario) and the weight sparcsd's LRU cache charges a
+// cached compilation.
+func (s *System) FootprintCLBs() int {
+	return s.design.FootprintCLBs(s.build.Partition)
 }
 
 // SweepError reports a failing experiment inside a System.Sweep. The
